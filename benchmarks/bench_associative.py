@@ -1,0 +1,15 @@
+"""A1: Theorem 5 — associative-function mode (count and sum semigroups)."""
+
+from __future__ import annotations
+
+from repro.bench import run_a1
+
+from conftest import run_once, show
+
+
+def test_associative_mode(benchmark):
+    table = run_once(benchmark, run_a1)
+    show(table)
+    assert all(v == "yes" for v in table.column("answers checked"))
+    rounds = set(table.column("rounds"))
+    assert len(rounds) == 1, "count and sum modes must share the round budget"

@@ -1,0 +1,26 @@
+"""B1: range tree vs k-D tree vs brute force — the Section 1 comparison.
+
+The shape claim: range-tree node visits grow polylogarithmically in n while
+k-D tree visits grow polynomially (O(d n^{1-1/d})), so their ratio widens.
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_b1
+
+from conftest import run_once, show
+
+
+def test_baselines(benchmark):
+    table = run_once(benchmark, run_b1)
+    show(table)
+    ns = table.column("n")
+    rt = table.column("RT visits/q")
+    kd = table.column("kD visits/q")
+    # both grow, but the range tree grows slower: per-16x-n growth factor
+    rt_growth = rt[-1] / rt[0]
+    kd_growth = kd[-1] / kd[0]
+    assert ns[-1] // ns[0] == 16
+    assert rt_growth < kd_growth * 1.5  # polylog vs polynomial, modest n regime
+    # range-tree visit growth is consistent with log^2: < 8x for 16x points
+    assert rt_growth < 8

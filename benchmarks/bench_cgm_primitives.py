@@ -1,0 +1,47 @@
+"""X1: the CGM sort black box — O(1) rounds, h = O(N/p), balanced output.
+
+Plus micro-benchmarks of the sort and of one all-to-all round.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench import run_x1
+from repro.cgm import Machine, alltoall_broadcast, sample_sort
+
+from conftest import run_once, show
+
+
+def test_cgm_sort_table(benchmark):
+    table = run_once(benchmark, run_x1)
+    show(table)
+    rounds = set(table.column("rounds"))
+    assert len(rounds) == 1, f"sort rounds varied with N: {rounds}"
+    assert all(v == "yes" for v in table.column("sorted+balanced"))
+    assert all(r <= 2.0 for r in table.column("h/(N/p)"))
+
+
+def test_sort_wallclock_100k(benchmark):
+    rng = random.Random(0)
+    xs = [rng.randrange(10**6) for _ in range(100_000)]
+    p = 8
+    chunk = -(-len(xs) // p)
+    dist = [xs[i * chunk:(i + 1) * chunk] for i in range(p)]
+
+    def run():
+        mach = Machine(p)
+        return sample_sort(mach, dist, key=lambda x: x)
+
+    benchmark(run)
+
+
+def test_alltoall_wallclock(benchmark):
+    p = 8
+    payload = [[list(range(1000)) for _ in range(p)] for _ in range(p)]
+
+    def run():
+        mach = Machine(p)
+        return alltoall_broadcast(mach, [box[0] for box in payload])
+
+    benchmark(run)

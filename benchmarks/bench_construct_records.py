@@ -1,0 +1,18 @@
+"""CAV1: Section 6 caveat — Construct sorts n·log^{d-1} p records, not n."""
+
+from __future__ import annotations
+
+from repro.bench import run_cav1
+
+from conftest import run_once, show
+
+
+def test_construct_record_counts(benchmark):
+    table = run_once(benchmark, run_cav1)
+    show(table)
+    for n, d, p, phase, records, theory in table.rows:
+        assert records == theory, (
+            f"phase {phase} (n={n}, d={d}, p={p}): sorted {records}, theory {theory}"
+        )
+        if phase == 0:
+            assert records == n

@@ -1,0 +1,37 @@
+"""C1: Theorem 2 — construction work Θ(s/p), rounds constant in n.
+
+Also micro-benchmarks a single representative build for wall-clock
+tracking across library versions.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.bench import run_c1
+from repro.dist import DistributedRangeTree
+from repro.workloads import uniform_points
+
+from conftest import run_once, show
+
+
+def test_construct_scaling_n(benchmark):
+    table = run_once(benchmark, run_c1)
+    show(table)
+    # rounds constant within each dimension
+    by_d = defaultdict(set)
+    for row in table.rows:
+        by_d[row[0]].add(row[5])
+    for d, rounds in by_d.items():
+        assert len(rounds) == 1, f"d={d}: rounds varied with n: {rounds}"
+    # work/(s/p) flat within 3x per dimension (Θ(s/p))
+    by_d_ratio = defaultdict(list)
+    for row in table.rows:
+        by_d_ratio[row[0]].append(row[4])
+    for d, ratios in by_d_ratio.items():
+        assert max(ratios) <= 3 * min(ratios), f"d={d}: work not Θ(s/p): {ratios}"
+
+
+def test_build_wallclock_n1024_d2_p8(benchmark):
+    pts = uniform_points(1024, 2, seed=0)
+    benchmark(lambda: DistributedRangeTree.build(pts, p=8))

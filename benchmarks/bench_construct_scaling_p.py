@@ -1,0 +1,18 @@
+"""C2: Theorem 2 — max per-processor construction work shrinks with p."""
+
+from __future__ import annotations
+
+from repro.bench import run_c2
+
+from conftest import run_once, show
+
+
+def test_construct_scaling_p(benchmark):
+    table = run_once(benchmark, run_c2)
+    show(table)
+    work = table.column("max work")
+    assert all(a > b for a, b in zip(work, work[1:])), "work must shrink with p"
+    # p=16 vs p=2 should give at least ~3x
+    assert work[0] / work[-1] >= 3.0
+    rounds = set(table.column("rounds"))
+    assert len(rounds) == 1, f"rounds varied with p: {rounds}"

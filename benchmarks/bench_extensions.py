@@ -1,0 +1,30 @@
+"""D1 / DY1 / SQ1: the paper's extension points as benches."""
+
+from __future__ import annotations
+
+from repro.bench import run_d1, run_dy1, run_sq1
+
+from conftest import run_once, show
+
+
+def test_dominance_pipeline(benchmark):
+    table = run_once(benchmark, run_d1)
+    show(table)
+    assert all(v == "yes" for v in table.column("answers agree"))
+
+
+def test_dynamization_amortised(benchmark):
+    table = run_once(benchmark, run_dy1)
+    show(table)
+    rebuilt = table.column("rebuilt points total")
+    bound = table.column("bound n·(log2 n + 1)")
+    assert all(r <= b for r, b in zip(rebuilt, bound))
+    assert all(v == "yes" for v in table.column("query ok"))
+
+
+def test_single_query(benchmark):
+    table = run_once(benchmark, run_sq1)
+    show(table)
+    assert all(v == "yes" for v in table.column("count ok"))
+    rounds = set(table.column("rounds"))
+    assert len(rounds) == 1

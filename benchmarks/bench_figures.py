@@ -1,0 +1,35 @@
+"""F1-F3: executable reproductions of the paper's three figures."""
+
+from __future__ import annotations
+
+from repro.bench import run_f1, run_f2, run_f3
+
+from conftest import run_once, show
+
+
+def test_figure1_segment_tree(benchmark):
+    table = run_once(benchmark, run_f1)
+    show(table)
+    assert all(m == "yes" for m in table.column("match"))
+
+
+def test_figure2_labeling(benchmark):
+    table = run_once(benchmark, run_f2)
+    show(table)
+    for x, kids, grand, droot in table.rows:
+        assert kids == [2 * x, 2 * x + 1]
+        assert grand == [4 * x, 4 * x + 1, 4 * x + 2, 4 * x + 3]
+        assert droot == x
+    assert "0 index inheritance violations" in table.notes[-1]
+
+
+def test_figure3_hat_forest(benchmark):
+    table = run_once(benchmark, run_f3)
+    show(table)
+    rows = {r[0]: r[2] for r in table.rows}
+    assert rows["hat levels (dim 1)"] == 3
+    assert rows["primary-hat leaves"] == 8
+    assert rows["points per forest element"] == 8
+    assert rows["descendant trees of hat nodes (points)"] == [64, 32, 32, 16, 16, 16, 16]
+    counts = rows["forest elements per processor"]
+    assert max(counts) == min(counts)

@@ -1,0 +1,23 @@
+"""M1: hot-spot stress — demand-proportional replication keeps load flat."""
+
+from __future__ import annotations
+
+from repro.bench import run_m1
+
+from conftest import run_once, show
+
+
+def test_hotspot_balance(benchmark):
+    table = run_once(benchmark, run_m1)
+    show(table)
+    rows = {(r[0], r[1]): r for r in table.rows}
+    hot_direct = rows[("hotspot", "direct")]
+    hot_doubling = rows[("hotspot", "doubling")]
+    uni = rows[("uniform 1%", "doubling")]
+    # the hotspot forces replication
+    assert hot_doubling[2] >= uni[2]
+    # per-proc subquery load stays near |Q'|/p even under the hotspot
+    assert hot_doubling[4] <= 2 * hot_doubling[5] + 8
+    # doubling trades rounds for bounded h: same or more rounds, same or less h
+    assert hot_doubling[6] >= hot_direct[6]
+    assert hot_doubling[7] <= hot_direct[7]

@@ -1,0 +1,16 @@
+"""B2: the layered range tree 'saves a factor of log n' (Section 1)."""
+
+from __future__ import annotations
+
+from repro.bench import run_b2
+
+from conftest import run_once, show
+
+
+def test_layered_ablation(benchmark):
+    table = run_once(benchmark, run_b2)
+    show(table)
+    ratios = table.column("ratio")
+    # the saved factor grows with n (shape of the log n claim)
+    assert ratios == sorted(ratios), f"visit ratio must grow with n: {ratios}"
+    assert ratios[-1] > ratios[0]

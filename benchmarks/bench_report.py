@@ -1,0 +1,15 @@
+"""R1: Theorem 5 — report mode ends with <= ceil(k/p) pairs per processor."""
+
+from __future__ import annotations
+
+from repro.bench import run_r1
+
+from conftest import run_once, show
+
+
+def test_report_balance(benchmark):
+    table = run_once(benchmark, run_r1)
+    show(table)
+    assert all(v == "yes" for v in table.column("balanced"))
+    rounds = set(table.column("rounds"))
+    assert len(rounds) == 1, "report round budget must not depend on k"

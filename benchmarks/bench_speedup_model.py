@@ -1,0 +1,21 @@
+"""SP1: modeled BSP speedup shape across machine personalities."""
+
+from __future__ import annotations
+
+from repro.bench import run_sp1
+
+from conftest import run_once, show
+
+
+def test_modeled_speedup(benchmark):
+    table = run_once(benchmark, run_sp1)
+    show(table)
+    fast = table.column("speedup (fast interconnect)")
+    cluster = table.column("speedup (commodity cluster)")
+    wan = table.column("speedup (high-latency WAN)")
+    # fast network: speedup keeps growing with p
+    assert all(b > a for a, b in zip(fast, fast[1:]))
+    # a better network never yields a *worse* speedup
+    assert all(f >= c >= w for f, c, w in zip(fast, cluster, wan))
+    # the WAN personality must show the flattening the cost model predicts
+    assert wan[-1] < 2.0

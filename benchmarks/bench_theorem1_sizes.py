@@ -1,0 +1,17 @@
+"""T1: Theorem 1 — hat size O(p log^{d-1} p), balanced O(s/p) forests."""
+
+from __future__ import annotations
+
+from repro.bench import run_t1
+
+from conftest import run_once, show
+
+
+def test_theorem1_sizes(benchmark):
+    table = run_once(benchmark, run_t1)
+    show(table)
+    hat = table.column("hat nodes")
+    bound = table.column("bound 4p·(log p+1)^(d-1)")
+    assert all(h <= b for h, b in zip(hat, bound)), "hat exceeds Theorem 1 bound"
+    ratios = table.column("max/min")
+    assert all(r <= 2.0 for r in ratios), "forest groups imbalanced"

@@ -1,0 +1,23 @@
+"""Shared benchmark plumbing.
+
+Every bench runs its experiment driver exactly once under
+``benchmark.pedantic`` (the drivers already iterate over their own
+parameter sweeps), prints the paper-style table, and then asserts the
+*shape* claims the experiment reproduces — so the bench suite doubles as a
+regression harness for the paper's theorems.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Execute an experiment driver once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def show(table) -> None:
+    print("\n" + table.render())

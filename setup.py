@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no `wheel` package and no
+network access, so PEP-517 editable installs (`pip install -e .`) fall back
+to this shim via `--no-use-pep517`.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,94 @@
+"""repro — reproduction of *d-Dimensional Range Search on Multicomputers*.
+
+Ferreira, Kenyon, Rau-Chaplin, Ubeda (LIP RR-96-23 / IPPS 1997).
+
+Public API overview
+-------------------
+Geometry:           :class:`PointSet`, :class:`Box`
+Sequential trees:   :class:`SequentialRangeTree`, :class:`LayeredSequentialRangeTree`,
+                    :class:`KDTree`, brute-force oracles
+Semigroups:         :data:`COUNT`, :func:`sum_of_dim`, ...
+CGM machine:        :class:`repro.cgm.Machine`
+Distributed tree:   :class:`repro.dist.DistributedRangeTree`
+Workloads:          :mod:`repro.workloads`
+"""
+
+from __future__ import annotations
+
+from .errors import (
+    CapacityExceeded,
+    DimensionMismatch,
+    EmptyPointSet,
+    GeometryError,
+    MachineError,
+    PowerOfTwoError,
+    ProtocolError,
+    ReproError,
+)
+from .geometry import Box, Point, PointSet, RankBox, RankSpace, pad_to_power_of_two
+from .semigroup import (
+    COUNT,
+    Semigroup,
+    bounding_box_semigroup,
+    count_semigroup,
+    id_set,
+    max_of_dim,
+    min_of_dim,
+    moments_of_dim,
+    sum_of_dim,
+)
+from .seq import (
+    BruteForceIndex,
+    KDTree,
+    LayeredSequentialRangeTree,
+    SequentialRangeTree,
+    bf_aggregate,
+    bf_count,
+    bf_report,
+)
+from .cgm import CostModel, Machine
+from .dist import DistributedRangeTree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "GeometryError",
+    "DimensionMismatch",
+    "EmptyPointSet",
+    "MachineError",
+    "PowerOfTwoError",
+    "CapacityExceeded",
+    "ProtocolError",
+    # geometry
+    "Box",
+    "Point",
+    "PointSet",
+    "RankBox",
+    "RankSpace",
+    "pad_to_power_of_two",
+    # semigroups
+    "Semigroup",
+    "COUNT",
+    "count_semigroup",
+    "sum_of_dim",
+    "min_of_dim",
+    "max_of_dim",
+    "id_set",
+    "bounding_box_semigroup",
+    "moments_of_dim",
+    # sequential structures
+    "SequentialRangeTree",
+    "LayeredSequentialRangeTree",
+    "KDTree",
+    "BruteForceIndex",
+    "bf_report",
+    "bf_count",
+    "bf_aggregate",
+    # parallel machine + distributed tree
+    "Machine",
+    "CostModel",
+    "DistributedRangeTree",
+]

@@ -1,0 +1,62 @@
+"""Small internal utilities shared across subpackages."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, TypeVar
+
+from .errors import PowerOfTwoError
+
+T = TypeVar("T")
+
+__all__ = [
+    "is_power_of_two",
+    "next_power_of_two",
+    "ilog2",
+    "require_power_of_two",
+    "chunks",
+    "pairwise_disjoint",
+]
+
+
+def is_power_of_two(x: int) -> bool:
+    """Return True iff ``x`` is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def next_power_of_two(x: int) -> int:
+    """Smallest power of two ``>= x`` (and ``>= 1``)."""
+    if x <= 1:
+        return 1
+    return 1 << (x - 1).bit_length()
+
+
+def ilog2(x: int) -> int:
+    """Exact integer log2 of a power of two."""
+    require_power_of_two("ilog2 argument", x)
+    return x.bit_length() - 1
+
+
+def require_power_of_two(what: str, x: int) -> int:
+    """Validate that ``x`` is a power of two, returning it unchanged."""
+    if not is_power_of_two(x):
+        raise PowerOfTwoError(what, x)
+    return x
+
+
+def chunks(seq: Sequence[T], size: int) -> Iterator[Sequence[T]]:
+    """Yield successive slices of ``seq`` of length ``size`` (last may be short)."""
+    if size <= 0:
+        raise ValueError(f"chunk size must be positive, got {size}")
+    for i in range(0, len(seq), size):
+        yield seq[i : i + size]
+
+
+def pairwise_disjoint(sets: Iterable[Iterable[T]]) -> bool:
+    """Return True iff the given collections share no element."""
+    seen: set[T] = set()
+    for s in sets:
+        for x in s:
+            if x in seen:
+                return False
+            seen.add(x)
+    return True

@@ -1,0 +1,82 @@
+"""Execution backends for the virtual processors.
+
+A backend runs ``p`` independent thunks (one per virtual processor) and
+returns their results in rank order.  Two implementations:
+
+* :class:`SerialBackend` — runs them in a loop.  Deterministic, zero
+  overhead, the default for tests and benches (per-processor work is still
+  *measured* per processor, so scaling claims are observable).
+* :class:`ThreadBackend` — a persistent thread pool.  Under CPython's GIL
+  pure-Python work does not speed up, but numpy-heavy phases release the
+  GIL, and the backend proves the algorithms are safe under concurrent
+  per-processor execution (no shared mutable state between ranks).
+
+Both must produce bit-identical results; a test asserts this.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+__all__ = ["Backend", "SerialBackend", "ThreadBackend", "make_backend"]
+
+
+class Backend:
+    """Abstract executor of per-processor thunks."""
+
+    name = "abstract"
+
+    def run(self, thunks: Sequence[Callable[[], Any]]) -> list[Any]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial
+        pass
+
+
+class SerialBackend(Backend):
+    """Run every virtual processor's phase in rank order, in-process."""
+
+    name = "serial"
+
+    def run(self, thunks: Sequence[Callable[[], Any]]) -> list[Any]:
+        return [t() for t in thunks]
+
+
+class ThreadBackend(Backend):
+    """Run phases on a persistent thread pool (one worker per rank by default)."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self._max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self, p: int) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers or p,
+                thread_name_prefix="cgm-proc",
+            )
+        return self._pool
+
+    def run(self, thunks: Sequence[Callable[[], Any]]) -> list[Any]:
+        pool = self._ensure_pool(len(thunks))
+        futures = [pool.submit(t) for t in thunks]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def make_backend(spec: str | Backend) -> Backend:
+    """Backend factory: accepts "serial", "thread" or an instance."""
+    if isinstance(spec, Backend):
+        return spec
+    if spec == "serial":
+        return SerialBackend()
+    if spec == "thread":
+        return ThreadBackend()
+    raise ValueError(f"unknown backend {spec!r}; choose 'serial' or 'thread'")

@@ -1,0 +1,192 @@
+"""Weighted load balancing (the technique the paper imports from [12]).
+
+Two ingredients used by Algorithms Search and Report:
+
+* :func:`balance_by_weight` — redistribute weighted items so every
+  processor carries ≈ ``ΣW/p`` total weight, via the paper's prefix-sum
+  destination rule ``dest(q) = floor(p · ps_w(q) / ΣW)``.
+* :func:`compute_copy_counts` — Algorithm Search step 2: how many copies
+  ``c_j = ceil(|Q'_{F_j}| / (|Q'|/p))`` of each forest group are needed so
+  each copy serves at most ``ceil(|Q'|/p)`` subqueries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence, TypeVar
+
+from .collectives import partial_sum
+from .machine import Machine
+
+T = TypeVar("T")
+
+__all__ = [
+    "balance_by_weight",
+    "compute_copy_counts",
+    "assign_copies_round_robin",
+    "replicate_groups",
+]
+
+
+def balance_by_weight(
+    mach: Machine,
+    locals_: Sequence[Sequence[T]],
+    weight: Callable[[T], int],
+    label: str = "balance-weight",
+) -> list[list[T]]:
+    """Redistribute items so per-processor total weight is ≈ ``ΣW/p``.
+
+    Preserves global order.  No item is split, so a processor may exceed
+    the average by at most the largest single item weight (the caller
+    chunks oversized items first when that matters — Algorithm Report does).
+    Two rounds: partial sum + route.
+    """
+    weights = [[max(0, int(weight(it))) for it in box] for box in locals_]
+    prefix = partial_sum(
+        mach, weights, op=lambda a, b: a + b, zero=0, label=f"{label}:psum"
+    )
+    # total weight = last prefix of the last non-empty processor
+    total = 0
+    for r in range(mach.p - 1, -1, -1):
+        if prefix[r]:
+            total = prefix[r][-1]
+            break
+    if total == 0:
+        # all weights zero: fall back to count balancing to keep items spread
+        from .collectives import route_balanced
+
+        return route_balanced(mach, locals_, label=label)
+    out = mach.empty_outboxes()
+    for r in range(mach.p):
+        for it, ps in zip(locals_[r], prefix[r]):
+            w = max(0, int(weight(it)))
+            # destination by *exclusive* prefix (paper: floor(p * ps / ΣW))
+            excl = ps - w
+            dest = min(mach.p - 1, (mach.p * excl) // total)
+            out[r][dest].append(it)
+    return mach.exchange_weighted(
+        f"{label}:route", out, weight=lambda it: max(1, int(weight(it)))
+    )
+
+
+def compute_copy_counts(demands: Sequence[int], total: int, p: int) -> list[int]:
+    """Algorithm Search step 2: copies per forest group.
+
+    ``c_j = ceil(demand_j / ceil(total/p))`` with a minimum of one copy for
+    any group that has demand (and exactly one when demand is zero — the
+    owner keeps its own copy).
+    """
+    if total <= 0:
+        return [1] * len(demands)
+    per_copy = max(1, -(-total // p))
+    return [max(1, -(-d // per_copy)) for d in demands]
+
+
+def assign_copies_round_robin(copy_counts: Sequence[int], p: int) -> list[list[int]]:
+    """Assign group copies to processors.
+
+    Returns ``targets[j]`` = the ranks that will hold a copy of group ``j``.
+    Copies are laid out in group order round-robin over all ranks, which
+    gives every rank O(total copies / p) = O(1) copies when
+    ``Σ c_j <= 2p`` (guaranteed by the ceiling rule: summing
+    ``ceil(d_j / ceil(D/p))`` over j with ``Σ d_j = D`` yields < p + #groups).
+    The owner rank ``j`` always keeps its own copy as copy 0.
+    """
+    targets: list[list[int]] = []
+    cursor = 0
+    for j, c in enumerate(copy_counts):
+        t = [j % p]
+        for _ in range(c - 1):
+            # skip the owner slot so copies land elsewhere when possible
+            cand = cursor % p
+            cursor += 1
+            if cand == j % p and p > 1:
+                cand = cursor % p
+                cursor += 1
+            t.append(cand)
+        targets.append(t)
+    return targets
+
+
+def replicate_groups(
+    mach: Machine,
+    payloads: Sequence[Any],
+    targets: Sequence[Sequence[int]],
+    weight: Callable[[Any], int],
+    strategy: str = "doubling",
+    label: str = "replicate",
+) -> list[dict[int, Any]]:
+    """Distribute copies of per-owner payloads to their target ranks.
+
+    ``payloads[j]`` lives on rank ``j`` (owner); ``targets[j]`` lists the
+    ranks that must end up holding a copy (the owner itself needs no
+    transfer).  Returns, per rank, ``{owner: payload}`` for every copy the
+    rank holds (owners always hold their own).
+
+    Strategies
+    ----------
+    ``direct``:
+        one round; the owner sends every copy itself.  h can spike to
+        ``c_j · |payload|`` for a hot group.
+    ``doubling`` (default):
+        holders recruit one new holder per round, so per-round h stays at
+        ``O(|payload|)`` per processor at the cost of
+        ``ceil(log2(max c_j))`` rounds.  For the uniform demand of
+        Theorems 3-5 this is the same constant; the hot-spot benchmark
+        (M1) shows the trade-off explicitly.
+    """
+    p = mach.p
+    holders: list[dict[int, Any]] = [dict() for _ in range(p)]
+    for j in range(p):
+        if payloads[j] is not None:
+            holders[j][j] = payloads[j]
+
+    pending: list[list[int]] = []
+    for j in range(p):
+        want = [t for t in dict.fromkeys(targets[j]) if t != j]
+        pending.append(want)
+
+    if strategy == "direct":
+        out = mach.empty_outboxes()
+        for j in range(p):
+            for t in pending[j]:
+                out[j][t].append((j, payloads[j]))
+        inboxes = mach.exchange_weighted(
+            f"{label}:direct", out, weight=lambda rec: max(1, weight(rec[1]))
+        )
+        for r in range(p):
+            for owner, payload in inboxes[r]:
+                holders[r][owner] = payload
+        return holders
+
+    if strategy != "doubling":
+        raise ValueError(f"unknown replication strategy {strategy!r}")
+
+    # doubling: every current holder serves one pending target per round
+    have: list[list[int]] = [[j] if payloads[j] is not None else [] for j in range(p)]
+    rnd = 0
+    while any(pending):
+        out = mach.empty_outboxes()
+        sent_this_round: set[int] = set()
+        for j in range(p):
+            queue = pending[j]
+            senders = [h for h in have[j] if h not in sent_this_round]
+            assigned = 0
+            for h in senders:
+                if assigned >= len(queue):
+                    break
+                t = queue[assigned]
+                out[h][t].append((j, payloads[j]))
+                sent_this_round.add(h)
+                assigned += 1
+            pending[j] = queue[assigned:]
+        inboxes = mach.exchange_weighted(
+            f"{label}:double-{rnd}", out, weight=lambda rec: max(1, weight(rec[1]))
+        )
+        for r in range(p):
+            for owner, payload in inboxes[r]:
+                holders[r][owner] = payload
+                have[owner].append(r)
+        rnd += 1
+        if rnd > 2 * p + 2:  # safety net against protocol bugs
+            raise RuntimeError("replicate_groups failed to converge")
+    return holders

@@ -1,0 +1,158 @@
+"""Superstep metrics: the observable the paper's theorems talk about.
+
+Every compute phase and every communication round executed on a
+:class:`~repro.cgm.machine.Machine` appends a :class:`StepRecord`.  The
+experiment harness reads off:
+
+* ``rounds``          — number of communication supersteps (Theorems 2-5
+                        claim these are O(1), independent of n),
+* ``max_h``           — the largest h-relation routed (claimed O(s/p)),
+* ``max_work``        — max per-processor charged operations summed over
+                        compute steps (claimed O(s/p), O(s log n / p), ...),
+* ``modeled_time``    — the BSP cost under a :class:`~repro.cgm.cost.CostModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .cost import CostModel
+
+__all__ = ["StepRecord", "Metrics"]
+
+KIND_COMPUTE = "compute"
+KIND_COMM = "comm"
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One superstep: either a compute phase or a communication round."""
+
+    kind: str  # "compute" | "comm"
+    label: str
+    #: per-processor charged operation counts (compute) — empty for comm
+    ops: tuple[int, ...] = ()
+    #: per-processor wall-clock seconds (compute) — empty for comm
+    seconds: tuple[float, ...] = ()
+    #: per-processor records sent / received (comm) — empty for compute
+    sent: tuple[int, ...] = ()
+    received: tuple[int, ...] = ()
+
+    @property
+    def h(self) -> int:
+        """The h of the h-relation: max records sent or received by any proc."""
+        if self.kind != KIND_COMM:
+            return 0
+        return max(max(self.sent, default=0), max(self.received, default=0))
+
+    @property
+    def volume(self) -> int:
+        """Total records moved in this round."""
+        return sum(self.sent)
+
+    @property
+    def max_ops(self) -> int:
+        return max(self.ops, default=0)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(self.ops)
+
+    @property
+    def max_seconds(self) -> float:
+        return max(self.seconds, default=0.0)
+
+
+@dataclass
+class Metrics:
+    """Accumulated superstep trace for one machine."""
+
+    steps: list[StepRecord] = field(default_factory=list)
+
+    # -- recording ---------------------------------------------------------
+    def record_compute(self, label: str, ops: list[int], seconds: list[float]) -> None:
+        self.steps.append(
+            StepRecord(
+                kind=KIND_COMPUTE,
+                label=label,
+                ops=tuple(ops),
+                seconds=tuple(seconds),
+            )
+        )
+
+    def record_comm(self, label: str, sent: list[int], received: list[int]) -> None:
+        self.steps.append(
+            StepRecord(kind=KIND_COMM, label=label, sent=tuple(sent), received=tuple(received))
+        )
+
+    def reset(self) -> None:
+        self.steps.clear()
+
+    # -- aggregate views -----------------------------------------------------
+    def comm_steps(self) -> Iterator[StepRecord]:
+        return (s for s in self.steps if s.kind == KIND_COMM)
+
+    def compute_steps(self) -> Iterator[StepRecord]:
+        return (s for s in self.steps if s.kind == KIND_COMPUTE)
+
+    @property
+    def rounds(self) -> int:
+        """Number of communication rounds (the paper's superstep count)."""
+        return sum(1 for _ in self.comm_steps())
+
+    @property
+    def max_h(self) -> int:
+        """Largest h-relation across all rounds."""
+        return max((s.h for s in self.comm_steps()), default=0)
+
+    @property
+    def total_volume(self) -> int:
+        return sum(s.volume for s in self.comm_steps())
+
+    @property
+    def max_work(self) -> int:
+        """Sum over compute steps of the max per-processor ops."""
+        return sum(s.max_ops for s in self.compute_steps())
+
+    @property
+    def total_work(self) -> int:
+        return sum(s.total_ops for s in self.compute_steps())
+
+    @property
+    def critical_seconds(self) -> float:
+        """Ideal parallel wall-clock: per step, the slowest processor."""
+        return sum(s.max_seconds for s in self.compute_steps())
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(sum(s.seconds) for s in self.compute_steps())
+
+    def modeled_time(self, cost: CostModel) -> float:
+        """BSP cost of the whole trace (ops + g·h + L per round)."""
+        t = 0.0
+        for s in self.steps:
+            if s.kind == KIND_COMPUTE:
+                t += s.max_ops
+            else:
+                t += cost.g * s.h + cost.L
+        return t
+
+    def summary(self) -> dict:
+        """Flat dict for tables / EXPERIMENTS.md rows."""
+        return {
+            "rounds": self.rounds,
+            "max_h": self.max_h,
+            "volume": self.total_volume,
+            "max_work": self.max_work,
+            "total_work": self.total_work,
+            "critical_seconds": round(self.critical_seconds, 6),
+        }
+
+    def snapshot(self) -> "Metrics":
+        """Copy of the current trace (for before/after diffs)."""
+        return Metrics(steps=list(self.steps))
+
+    def since(self, snap: "Metrics") -> "Metrics":
+        """Trace of steps recorded after ``snap`` was taken."""
+        return Metrics(steps=self.steps[len(snap.steps):])

@@ -1,0 +1,126 @@
+"""Deterministic CGM sample sort — the paper's black-box parallel sort.
+
+The paper uses parallel sort as its communication workhorse (Goodrich's
+communication-efficient sort achieves O(1) h-relations for ``n/p >= p``);
+Algorithm Construct sorts record sets, and the search/report algorithms
+sort query-result pairs.  This implementation is the classic
+sample/regular-sampling sort:
+
+1. local sort,
+2. each processor contributes ``p`` regular samples; all-to-all broadcast,
+3. everyone deterministically picks the same ``p-1`` splitters,
+4. partition + personalized all-to-all,
+5. local merge,
+6. balanced redistribution so every processor ends with ``ceil(N/p)``
+   items (the paper's sort is balanced; Construct step 3 relies on groups
+   of exactly ``n/p`` consecutive records).
+
+Rounds: exactly 4 ``exchange`` rounds regardless of input size — the
+constant the theorems require.  Duplicate keys are totally ordered by
+``(key, source rank, source index)``, making the sort stable with respect
+to the original global order and the whole pipeline deterministic.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Sequence, TypeVar
+
+from .collectives import alltoall_broadcast, route_balanced
+from .machine import Machine
+
+T = TypeVar("T")
+
+__all__ = ["sample_sort", "sorted_and_balanced"]
+
+
+def sample_sort(
+    mach: Machine,
+    locals_: Sequence[Sequence[T]],
+    key: Callable[[T], Any],
+    label: str = "sort",
+) -> list[list[T]]:
+    """Globally sort the distributed items by ``key``; balanced output.
+
+    Returns per-rank lists whose concatenation (rank-major) is the sorted
+    global sequence, with every rank holding at most ``ceil(N/p)`` items.
+    """
+    p = mach.p
+
+    # Step 1-2: local sort and regular sampling (local computation).
+    decorated: list[list[tuple[Any, int, int, T]]] = []
+    samples_per_rank: list[list[tuple[Any, int, int]]] = []
+
+    def local_sort(ctx) -> None:
+        r = ctx.rank
+        items = [(key(it), r, i, it) for i, it in enumerate(locals_[r])]
+        items.sort(key=lambda t: t[:3])
+        ctx.charge(max(1, len(items)) * max(1, len(items).bit_length()))
+        decorated[r].extend(items)
+        m = len(items)
+        if m:
+            step = max(1, m // p)
+            samples_per_rank[r].extend(
+                items[j][:3] for j in range(0, m, step)
+            )
+
+    decorated = [[] for _ in range(p)]
+    samples_per_rank = [[] for _ in range(p)]
+    mach.compute(f"{label}:local-sort", local_sort)
+
+    # Step 2b: all-to-all broadcast of samples (1 round).
+    all_samples = alltoall_broadcast(mach, samples_per_rank, label=f"{label}:samples")
+
+    # Step 3: identical splitter choice everywhere (deterministic).
+    pool = sorted(all_samples[0])
+    splitters: list[tuple[Any, int, int]] = []
+    if pool and p > 1:
+        step = max(1, len(pool) // p)
+        splitters = [pool[j] for j in range(step, len(pool), step)][: p - 1]
+
+    # Step 4: partition by splitters and route (1 round).
+    out = mach.empty_outboxes()
+
+    def partition(ctx) -> None:
+        r = ctx.rank
+        for item in decorated[r]:
+            dest = bisect.bisect_right(splitters, item[:3])
+            out[r][min(dest, p - 1)].append(item)
+        ctx.charge(len(decorated[r]))
+
+    mach.compute(f"{label}:partition", partition)
+    inboxes = mach.exchange(f"{label}:route", out)
+
+    # Step 5: local merge (receivers hold sorted runs from each source).
+    merged: list[list[tuple[Any, int, int, T]]] = [[] for _ in range(p)]
+
+    def local_merge(ctx) -> None:
+        r = ctx.rank
+        items = sorted(inboxes[r], key=lambda t: t[:3])
+        ctx.charge(max(1, len(items)) * max(1, len(items).bit_length()))
+        merged[r].extend(items)
+
+    mach.compute(f"{label}:merge", local_merge)
+
+    # Step 6: balanced redistribution (2 rounds: count + route).
+    balanced = route_balanced(mach, merged, label=f"{label}:balance")
+    return [[t[3] for t in box] for box in balanced]
+
+
+def sorted_and_balanced(
+    mach: Machine,
+    locals_: Sequence[Sequence[T]],
+    key: Callable[[T], Any],
+) -> bool:
+    """Check (locally, no communication) that output of a sort is valid."""
+    prev: Any = None
+    for r in range(mach.p):
+        for it in locals_[r]:
+            k = key(it)
+            if prev is not None and k < prev:
+                return False
+            prev = k
+    counts = [len(x) for x in locals_]
+    total = sum(counts)
+    cap = -(-total // mach.p)
+    return all(c <= cap for c in counts)

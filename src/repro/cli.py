@@ -1,0 +1,180 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    repro-range-search experiments [IDS ...] [--markdown] [-o FILE]
+        Run the paper-reproduction experiments (DESIGN.md index) and print
+        their tables; with --markdown/-o, emit/update EXPERIMENTS-style
+        markdown.
+
+    repro-range-search query --points uniform --n 2048 --d 2 --p 8 \
+                             --queries selectivity --m 512 --mode count
+        Build a distributed tree over a synthetic workload and answer a
+        query batch, printing answers (truncated) and machine metrics.
+
+    repro-range-search demo
+        The quickstart walkthrough.
+
+Also available as ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro-range-search",
+        description="d-Dimensional Range Search on Multicomputers — reproduction CLI",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    ex = sub.add_parser("experiments", help="run paper-reproduction experiments")
+    ex.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    ex.add_argument("--markdown", action="store_true", help="emit markdown tables")
+    ex.add_argument("-o", "--output", help="write output to a file")
+    ex.add_argument("--list", action="store_true", help="list experiment ids and exit")
+
+    q = sub.add_parser("query", help="build a tree over synthetic data and query it")
+    q.add_argument("--points", default="uniform", help="point distribution")
+    q.add_argument("--queries", default="selectivity", help="query workload")
+    q.add_argument("--n", type=int, default=1024, help="number of points")
+    q.add_argument("--d", type=int, default=2, help="dimensions")
+    q.add_argument("--p", type=int, default=8, help="virtual processors (power of two)")
+    q.add_argument("--m", type=int, default=256, help="number of queries")
+    q.add_argument("--selectivity", type=float, default=0.01)
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument(
+        "--mode", choices=["count", "report", "aggregate"], default="count"
+    )
+    q.add_argument("--backend", choices=["serial", "thread"], default="serial")
+    q.add_argument("--verify", action="store_true", help="check against brute force")
+    q.add_argument("--trace", action="store_true", help="print the superstep timeline")
+    q.add_argument("--validate", action="store_true", help="run the structural validator")
+
+    sub.add_parser("demo", help="run the quickstart walkthrough")
+    return ap
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .bench import EXPERIMENTS
+
+    if args.list:
+        for key, (desc, _fn) in EXPERIMENTS.items():
+            print(f"{key:5} {desc}")
+        return 0
+
+    ids = [i.upper() for i in args.ids] or list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; use --list", file=sys.stderr)
+        return 2
+
+    chunks = []
+    for key in ids:
+        desc, fn = EXPERIMENTS[key]
+        print(f"running {key}: {desc} ...", file=sys.stderr)
+        table = fn()
+        chunks.append(table.to_markdown() if args.markdown else table.render())
+    text = "\n\n".join(chunks) + "\n"
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .dist import DistributedRangeTree
+    from .seq import bf_count, bf_report
+    from .workloads import make_points, make_queries
+
+    points = make_points(args.points, args.n, args.d, seed=args.seed)
+    if args.queries == "selectivity":
+        queries = make_queries(
+            "selectivity", args.m, args.d, seed=args.seed + 1, selectivity=args.selectivity
+        )
+    else:
+        queries = make_queries(args.queries, args.m, args.d, seed=args.seed + 1)
+
+    tree = DistributedRangeTree.build(points, p=args.p, backend=args.backend)
+    print(f"built {tree}: {tree.space_report()}")
+    tree.reset_metrics()
+
+    if args.mode == "count":
+        answers = tree.batch_count(queries)
+        preview = answers[:10]
+    elif args.mode == "report":
+        answers = tree.batch_report(queries)
+        preview = [len(a) for a in answers[:10]]
+    else:
+        answers = tree.batch_aggregate(queries)
+        preview = answers[:10]
+    print(f"{args.mode} answers (first 10): {preview}")
+    print(f"metrics: {tree.metrics.summary()}")
+
+    if args.trace:
+        from .cgm.trace import render_trace
+
+        print(render_trace(tree.metrics, tree.machine.cost))
+    if args.validate:
+        from .dist.validate import validate_tree
+
+        rep = validate_tree(tree)
+        print(rep.summary())
+        if not rep.ok:
+            return 1
+
+    if args.verify:
+        if args.mode == "report":
+            ok = all(a == bf_report(points, q) for a, q in zip(answers, queries))
+        else:
+            ok = all(
+                a == bf_count(points, q) for a, q in zip(answers, queries)
+            ) if args.mode == "count" else True
+        print(f"verification: {'OK' if ok else 'FAILED'}")
+        if not ok:
+            return 1
+    tree.machine.close()
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    import runpy
+    from pathlib import Path
+
+    candidate = Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
+    if candidate.exists():
+        runpy.run_path(str(candidate), run_name="__main__")
+        return 0
+    # installed without the examples tree: run an inline mini-demo
+    from .dist import DistributedRangeTree
+    from .workloads import selectivity_queries, uniform_points
+
+    pts = uniform_points(512, 2, seed=0)
+    tree = DistributedRangeTree.build(pts, p=4)
+    qs = selectivity_queries(64, 2, seed=1, selectivity=0.05)
+    print(f"{tree} -> first counts {tree.batch_count(qs)[:8]}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "experiments":
+        return _cmd_experiments(args)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "demo":
+        return _cmd_demo(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

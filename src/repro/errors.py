@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures distinctly from
+programming mistakes (``TypeError`` etc. still propagate as usual).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GeometryError",
+    "DimensionMismatch",
+    "EmptyPointSet",
+    "MachineError",
+    "PowerOfTwoError",
+    "CapacityExceeded",
+    "ProtocolError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric input (malformed box, bad coordinates, ...)."""
+
+
+class DimensionMismatch(GeometryError):
+    """Objects of different dimensionality were combined."""
+
+    def __init__(self, expected: int, got: int, what: str = "object") -> None:
+        super().__init__(f"expected {what} of dimension {expected}, got {got}")
+        self.expected = expected
+        self.got = got
+
+
+class EmptyPointSet(GeometryError):
+    """An operation that needs at least one point received none."""
+
+
+class MachineError(ReproError):
+    """Errors raised by the CGM machine simulator."""
+
+
+class PowerOfTwoError(ReproError):
+    """A size that must be a power of two was not.
+
+    The distributed range tree of the paper assumes ``n = 2^k`` (Section 3)
+    and a power-of-two processor count so that hat levels align with forest
+    boundaries.  Use :func:`repro.geometry.rankspace.pad_to_power_of_two`
+    to pad arbitrary point sets.
+    """
+
+    def __init__(self, what: str, value: int) -> None:
+        super().__init__(f"{what} must be a power of two, got {value}")
+        self.what = what
+        self.value = value
+
+
+class CapacityExceeded(MachineError):
+    """A virtual processor exceeded its configured local memory bound."""
+
+
+class ProtocolError(MachineError):
+    """A collective was invoked inconsistently across virtual processors."""

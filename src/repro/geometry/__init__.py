@@ -1,0 +1,16 @@
+"""Geometric substrate: points, boxes, rank-space normalisation."""
+
+from .box import Box, Interval, RankBox
+from .point import Point, PointSet
+from .rankspace import RankedPointSet, RankSpace, pad_to_power_of_two
+
+__all__ = [
+    "Box",
+    "Interval",
+    "RankBox",
+    "Point",
+    "PointSet",
+    "RankSpace",
+    "RankedPointSet",
+    "pad_to_power_of_two",
+]

@@ -1,0 +1,34 @@
+"""Commutative semigroups for the associative-function query mode."""
+
+from .base import Semigroup
+from .group import AbelianGroup, count_group, sum_group, vector_sum_group
+from .builtin import (
+    COUNT,
+    bounding_box_semigroup,
+    count_semigroup,
+    histogram_of_dim,
+    top_k_ids,
+    id_set,
+    max_of_dim,
+    min_of_dim,
+    moments_of_dim,
+    sum_of_dim,
+)
+
+__all__ = [
+    "Semigroup",
+    "AbelianGroup",
+    "count_group",
+    "sum_group",
+    "vector_sum_group",
+    "COUNT",
+    "count_semigroup",
+    "sum_of_dim",
+    "min_of_dim",
+    "max_of_dim",
+    "id_set",
+    "bounding_box_semigroup",
+    "moments_of_dim",
+    "top_k_ids",
+    "histogram_of_dim",
+]

@@ -1,0 +1,61 @@
+"""Commutative semigroup abstraction for the associative-function mode.
+
+The paper's associative-function mode computes ``⊕_{l ∈ R(q)} f(l)`` where
+``f(l)`` lives in a commutative semigroup ``(V, ⊕)``.  A
+:class:`Semigroup` bundles
+
+* ``lift`` — the function ``f`` from a point to a semigroup value,
+* ``combine`` — the associative, commutative operation ``⊕``,
+* ``identity`` — a neutral element.
+
+Strictly, a semigroup needs no identity; we require one so that empty query
+results and sentinel padding points have a well-defined value (the paper
+sidesteps this by assuming non-empty selections).  Every classical example
+(count, sum, max over a bounded domain, ...) has one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Iterable, Sequence, TypeVar
+
+V = TypeVar("V")
+
+__all__ = ["Semigroup"]
+
+
+@dataclass(frozen=True)
+class Semigroup(Generic[V]):
+    """A commutative semigroup with identity, plus the lift ``f``.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label (used in benchmark tables).
+    lift:
+        ``f(point_id, coords) -> V``.  Receives the point's id and its
+        *real* coordinates so aggregates like "sum of x" are expressible.
+    combine:
+        The commutative, associative binary operation.
+    identity:
+        Neutral element: ``combine(identity, v) == v`` for all ``v``.
+    """
+
+    name: str
+    lift: Callable[[int, Sequence[float]], V]
+    combine: Callable[[V, V], V]
+    identity: V
+
+    def fold(self, values: Iterable[V]) -> V:
+        """Combine many values (left fold starting at the identity)."""
+        acc = self.identity
+        for v in values:
+            acc = self.combine(acc, v)
+        return acc
+
+    def lift_many(self, ids: Iterable[int], rows: Iterable[Sequence[float]]) -> V:
+        """Lift and fold a stream of points."""
+        acc = self.identity
+        for pid, row in zip(ids, rows):
+            acc = self.combine(acc, self.lift(pid, row))
+        return acc

@@ -1,0 +1,187 @@
+"""Ready-made semigroups for the associative-function mode.
+
+These cover the aggregates a downstream user typically wants from a range
+query: counting, coordinate sums/extremes, id sets for small results, and
+bounding boxes.  All are commutative with an identity, as required by
+:class:`repro.semigroup.base.Semigroup`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .base import Semigroup
+
+__all__ = [
+    "COUNT",
+    "count_semigroup",
+    "sum_of_dim",
+    "min_of_dim",
+    "max_of_dim",
+    "id_set",
+    "bounding_box_semigroup",
+    "moments_of_dim",
+    "top_k_ids",
+    "histogram_of_dim",
+]
+
+
+def count_semigroup() -> Semigroup[int]:
+    """Count matching points (the paper's canonical example)."""
+    return Semigroup(
+        name="count",
+        lift=lambda pid, coords: 1,
+        combine=lambda a, b: a + b,
+        identity=0,
+    )
+
+
+#: Shared count instance — the default aggregate of the distributed tree.
+COUNT: Semigroup[int] = count_semigroup()
+
+
+def sum_of_dim(dim: int) -> Semigroup[float]:
+    """Sum of coordinate ``dim`` over matching points."""
+    return Semigroup(
+        name=f"sum[x{dim}]",
+        lift=lambda pid, coords, _d=dim: float(coords[_d]),
+        combine=lambda a, b: a + b,
+        identity=0.0,
+    )
+
+
+def min_of_dim(dim: int) -> Semigroup[float]:
+    """Minimum of coordinate ``dim`` (identity: +inf)."""
+    return Semigroup(
+        name=f"min[x{dim}]",
+        lift=lambda pid, coords, _d=dim: float(coords[_d]),
+        combine=min,
+        identity=math.inf,
+    )
+
+
+def max_of_dim(dim: int) -> Semigroup[float]:
+    """Maximum of coordinate ``dim`` (identity: -inf)."""
+    return Semigroup(
+        name=f"max[x{dim}]",
+        lift=lambda pid, coords, _d=dim: float(coords[_d]),
+        combine=max,
+        identity=-math.inf,
+    )
+
+
+def id_set() -> Semigroup[frozenset]:
+    """The set of matching point ids.
+
+    Turns the associative-function mode into a (memory-hungry) report mode;
+    useful in tests to cross-validate the two modes.
+    """
+    return Semigroup(
+        name="id-set",
+        lift=lambda pid, coords: frozenset((pid,)),
+        combine=lambda a, b: a | b,
+        identity=frozenset(),
+    )
+
+
+def bounding_box_semigroup(dim: int) -> Semigroup[tuple]:
+    """Tight bounding box of the matching points.
+
+    Values are ``(mins, maxs)`` coordinate tuples; the identity is the
+    empty box ``(+inf…, -inf…)``.
+    """
+    inf = math.inf
+
+    def lift(pid: int, coords: Sequence[float]) -> tuple:
+        t = tuple(float(c) for c in coords)
+        return (t, t)
+
+    def combine(a: tuple, b: tuple) -> tuple:
+        amin, amax = a
+        bmin, bmax = b
+        return (
+            tuple(min(x, y) for x, y in zip(amin, bmin)),
+            tuple(max(x, y) for x, y in zip(amax, bmax)),
+        )
+
+    return Semigroup(
+        name=f"bbox[{dim}d]",
+        lift=lift,
+        combine=combine,
+        identity=((inf,) * dim, (-inf,) * dim),
+    )
+
+
+def moments_of_dim(dim: int) -> Semigroup[tuple]:
+    """(count, sum, sum of squares) of coordinate ``dim``.
+
+    Enough to reconstruct mean and variance of a coordinate over the
+    matching points — the classic database-statistics use case from the
+    paper's introduction.
+    """
+
+    def lift(pid: int, coords: Sequence[float], _d=dim) -> tuple:
+        x = float(coords[_d])
+        return (1, x, x * x)
+
+    def combine(a: tuple, b: tuple) -> tuple:
+        return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+    return Semigroup(
+        name=f"moments[x{dim}]",
+        lift=lift,
+        combine=combine,
+        identity=(0, 0.0, 0.0),
+    )
+
+
+def top_k_ids(k: int, dim: int = 0) -> Semigroup[tuple]:
+    """The k points with the smallest coordinate in ``dim`` (id-tagged).
+
+    Values are sorted tuples of ``(coordinate, id)`` pairs, truncated to
+    length k — a bounded merge, so the semigroup laws hold exactly.  The
+    classic "nearest events in the window" database aggregate.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+
+    def lift(pid: int, coords: Sequence[float], _d=dim) -> tuple:
+        return ((float(coords[_d]), pid),)
+
+    def combine(a: tuple, b: tuple) -> tuple:
+        return tuple(sorted(a + b)[:k])
+
+    return Semigroup(
+        name=f"top{k}[x{dim}]",
+        lift=lift,
+        combine=combine,
+        identity=(),
+    )
+
+
+def histogram_of_dim(dim: int, edges: Sequence[float]) -> Semigroup[tuple]:
+    """Fixed-bin histogram of coordinate ``dim`` over the matching points.
+
+    ``edges`` are the interior bin boundaries: a value lands in bin
+    ``bisect_right(edges, x)``, so there are ``len(edges) + 1`` bins.
+    Values are count tuples; combination is componentwise addition.
+    """
+    import bisect
+
+    cuts = tuple(float(e) for e in edges)
+    nbins = len(cuts) + 1
+
+    def lift(pid: int, coords: Sequence[float], _d=dim) -> tuple:
+        b = bisect.bisect_right(cuts, float(coords[_d]))
+        return tuple(1 if i == b else 0 for i in range(nbins))
+
+    def combine(a: tuple, b: tuple) -> tuple:
+        return tuple(x + y for x, y in zip(a, b))
+
+    return Semigroup(
+        name=f"hist[x{dim},{nbins}bins]",
+        lift=lift,
+        combine=combine,
+        identity=(0,) * nbins,
+    )

@@ -1,0 +1,75 @@
+"""Abelian groups: semigroups with inverses.
+
+The paper's footnote to Section 1 observes that "in the special case of
+associative functions with inverses this problem can be solved using
+weighted dominant counting".  An :class:`AbelianGroup` is a
+:class:`~repro.semigroup.base.Semigroup` extended with an ``inverse``
+operation, which unlocks two techniques implemented in this library:
+
+* inclusion-exclusion range aggregation over dominance (prefix) sums
+  (:mod:`repro.seq.dominance`), and
+* true deletions in the dynamized range tree (:mod:`repro.seq.dynamic`)
+  by subtracting a "deleted" structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, TypeVar
+
+from .base import Semigroup
+
+V = TypeVar("V")
+
+__all__ = ["AbelianGroup", "count_group", "sum_group", "vector_sum_group"]
+
+
+@dataclass(frozen=True)
+class AbelianGroup(Semigroup[V], Generic[V]):
+    """A commutative group: semigroup + identity + inverse.
+
+    ``combine(v, inverse(v)) == identity`` must hold for all ``v``.
+    """
+
+    inverse: Callable[[V], V] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.inverse is None:
+            raise TypeError("AbelianGroup requires an inverse operation")
+
+    def subtract(self, a: V, b: V) -> V:
+        """``a ⊕ b⁻¹`` — the derived subtraction."""
+        return self.combine(a, self.inverse(b))
+
+
+def count_group() -> AbelianGroup[int]:
+    """Counting with integer negation as the inverse."""
+    return AbelianGroup(
+        name="count(group)",
+        lift=lambda pid, coords: 1,
+        combine=lambda a, b: a + b,
+        identity=0,
+        inverse=lambda v: -v,
+    )
+
+
+def sum_group(dim: int) -> AbelianGroup[float]:
+    """Sum of coordinate ``dim`` with negation as the inverse."""
+    return AbelianGroup(
+        name=f"sum[x{dim}](group)",
+        lift=lambda pid, coords, _d=dim: float(coords[_d]),
+        combine=lambda a, b: a + b,
+        identity=0.0,
+        inverse=lambda v: -v,
+    )
+
+
+def vector_sum_group(d: int) -> AbelianGroup[tuple]:
+    """Componentwise sum of the full coordinate vector."""
+    return AbelianGroup(
+        name=f"vecsum[{d}d](group)",
+        lift=lambda pid, coords: tuple(float(c) for c in coords),
+        combine=lambda a, b: tuple(x + y for x, y in zip(a, b)),
+        identity=(0.0,) * d,
+        inverse=lambda v: tuple(-x for x in v),
+    )

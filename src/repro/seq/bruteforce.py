@@ -1,0 +1,63 @@
+"""Brute-force range search: the ground-truth oracle and the O(dn) baseline.
+
+Every test in the suite validates tree answers against these functions, and
+benchmark B1 uses them as the "no data structure" baseline the paper's
+introduction implicitly compares against.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..geometry.box import Box
+from ..geometry.point import PointSet
+from ..semigroup import Semigroup
+
+__all__ = ["bf_report", "bf_count", "bf_aggregate", "BruteForceIndex"]
+
+
+def _mask(points: PointSet, box: Box) -> np.ndarray:
+    return box.contains_rows(points.coords)
+
+
+def bf_report(points: PointSet, box: Box) -> list[int]:
+    """Sorted ids of points inside the closed box (linear scan)."""
+    mask = _mask(points, box)
+    return sorted(int(i) for i in points.ids[mask])
+
+
+def bf_count(points: PointSet, box: Box) -> int:
+    """Number of points inside the closed box (vectorised linear scan)."""
+    return int(_mask(points, box).sum())
+
+
+def bf_aggregate(points: PointSet, box: Box, semigroup: Semigroup) -> Any:
+    """Fold the semigroup over the points inside the box."""
+    mask = _mask(points, box)
+    acc = semigroup.identity
+    ids = points.ids
+    coords = points.coords
+    for i in np.nonzero(mask)[0]:
+        acc = semigroup.combine(acc, semigroup.lift(int(ids[i]), coords[i]))
+    return acc
+
+
+class BruteForceIndex:
+    """Class wrapper so baselines share one query interface in benches."""
+
+    def __init__(self, points: PointSet, semigroup: Semigroup | None = None) -> None:
+        self.points = points
+        self.semigroup = semigroup
+
+    def count(self, box: Box) -> int:
+        return bf_count(self.points, box)
+
+    def report(self, box: Box) -> list[int]:
+        return bf_report(self.points, box)
+
+    def aggregate(self, box: Box) -> Any:
+        if self.semigroup is None:
+            raise ValueError("BruteForceIndex built without a semigroup")
+        return bf_aggregate(self.points, box, self.semigroup)

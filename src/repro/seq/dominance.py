@@ -1,0 +1,216 @@
+"""Weighted dominance counting and range search by inclusion-exclusion.
+
+The paper's Section 1 footnote: "in the special case of associative
+functions with inverses this problem can be solved using weighted dominant
+counting".  This module implements that alternative pipeline:
+
+* :class:`FenwickTree` — a 1-d binary indexed tree over group values,
+* :func:`offline_dominance` — batched weighted dominance: for each query
+  corner ``c``, the group-sum of the weights of all points ``p`` with
+  ``p <= c`` componentwise.  Implemented with the classic CDQ
+  divide-and-conquer over dimensions (O(N log^{d-1} N) events processed),
+  entirely offline — the natural fit for the paper's *batched* query model.
+* :class:`DominanceRangeIndex` — answers orthogonal range aggregation for
+  an :class:`~repro.semigroup.group.AbelianGroup` by inclusion-exclusion
+  over the ``2^d`` corners of each box, cross-validated against the range
+  tree in the test suite and compared in benchmark D1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..geometry.box import Box
+from ..geometry.point import PointSet
+from ..geometry.rankspace import RankSpace
+from ..semigroup.group import AbelianGroup
+
+__all__ = ["FenwickTree", "offline_dominance", "DominanceRangeIndex"]
+
+
+class FenwickTree:
+    """Binary indexed tree over group values (prefix sums + point updates)."""
+
+    def __init__(self, size: int, group: AbelianGroup) -> None:
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self.size = size
+        self.group = group
+        self._tree: list[Any] = [group.identity] * (size + 1)
+
+    def add(self, index: int, value: Any) -> None:
+        """Combine ``value`` into position ``index`` (0-based)."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"index {index} out of range 0..{self.size - 1}")
+        i = index + 1
+        while i <= self.size:
+            self._tree[i] = self.group.combine(self._tree[i], value)
+            i += i & (-i)
+
+    def prefix(self, index: int) -> Any:
+        """Group-sum of positions ``0..index`` inclusive (identity if < 0)."""
+        acc = self.group.identity
+        i = min(index, self.size - 1) + 1
+        while i > 0:
+            acc = self.group.combine(acc, self._tree[i])
+            i -= i & (-i)
+        return acc
+
+    def range(self, lo: int, hi: int) -> Any:
+        """Group-sum of positions ``lo..hi`` (uses the inverse)."""
+        if hi < lo:
+            return self.group.identity
+        return self.group.subtract(self.prefix(hi), self.prefix(lo - 1))
+
+
+_POINT = 0
+_QUERY = 1
+
+
+def offline_dominance(
+    ranks: np.ndarray,
+    weights: Sequence[Any],
+    corners: Sequence[tuple[int, ...]],
+    group: AbelianGroup,
+) -> list[Any]:
+    """Batched weighted dominance counting.
+
+    Parameters
+    ----------
+    ranks:
+        ``(N, d)`` integer rank table of the points.
+    weights:
+        Group value per point.
+    corners:
+        Query corners; answer ``j`` is ``⊕ { weights[i] : ranks[i] <= corners[j] }``
+        (componentwise, inclusive).
+    group:
+        Abelian group supplying combine/identity (the inverse is only needed
+        by callers doing inclusion-exclusion).
+
+    Uses CDQ divide and conquer: split by the median of the current
+    dimension; left-half points dominate right-half queries in that
+    dimension, so their interaction recurses with one dimension fewer.
+    """
+    ranks = np.asarray(ranks, dtype=np.int64)
+    d = int(ranks.shape[1])
+    out: list[Any] = [group.identity] * len(corners)
+    items: list[tuple[tuple[int, ...], int, int]] = [
+        (tuple(int(x) for x in ranks[i]), _POINT, i) for i in range(ranks.shape[0])
+    ] + [(tuple(int(x) for x in c), _QUERY, j) for j, c in enumerate(corners)]
+
+    def sweep_last(evts: list[tuple[tuple[int, ...], int, int]], dim: int) -> None:
+        # 1-d base case: sort by coordinate (points before queries on ties,
+        # since dominance is <=) and prefix-accumulate
+        evts = sorted(evts, key=lambda it: (it[0][dim], it[1]))
+        acc = group.identity
+        for coords, kind, idx in evts:
+            if kind == _POINT:
+                acc = group.combine(acc, weights[idx])
+            else:
+                out[idx] = group.combine(out[idx], acc)
+
+    def rec(evts: list[tuple[tuple[int, ...], int, int]], dim: int) -> None:
+        npts = sum(1 for e in evts if e[1] == _POINT)
+        nqrs = len(evts) - npts
+        if npts == 0 or nqrs == 0:
+            return
+        if dim == d:
+            # dominance established in every dimension
+            total = group.identity
+            for coords, kind, idx in evts:
+                if kind == _POINT:
+                    total = group.combine(total, weights[idx])
+            for coords, kind, idx in evts:
+                if kind == _QUERY:
+                    out[idx] = group.combine(out[idx], total)
+            return
+        if dim == d - 1:
+            sweep_last(evts, dim)
+            return
+        if len(evts) <= 16:
+            # tiny: brute-force the remaining dimensions
+            for qc, qk, qj in evts:
+                if qk != _QUERY:
+                    continue
+                for pc, pk, pi in evts:
+                    if pk == _POINT and all(
+                        pc[t] <= qc[t] for t in range(dim, d)
+                    ):
+                        out[qj] = group.combine(out[qj], weights[pi])
+            return
+        evts = sorted(evts, key=lambda it: (it[0][dim], it[1]))
+        mid = len(evts) // 2
+        left, right = evts[:mid], evts[mid:]
+        rec(left, dim)
+        rec(right, dim)
+        # left points dominate right queries in `dim` (ties: points sort
+        # before queries, so an equal pair is either same-side or point-left)
+        cross = [e for e in left if e[1] == _POINT] + [
+            e for e in right if e[1] == _QUERY
+        ]
+        rec(cross, dim + 1)
+
+    rec(items, 0)
+    return out
+
+
+class DominanceRangeIndex:
+    """Orthogonal range aggregation via dominance + inclusion-exclusion.
+
+    Requires an :class:`AbelianGroup` (the inclusion-exclusion signs need
+    the inverse).  All queries are answered in one offline batch — the
+    paper's batched-query regime.
+    """
+
+    def __init__(self, points: PointSet, group: AbelianGroup) -> None:
+        self.points = points
+        self.group = group
+        self.space = RankSpace(points)
+        self.weights = [
+            group.lift(points.point_id(i), points.coords[i]) for i in range(points.n)
+        ]
+
+    def batch_aggregate(self, boxes: Sequence[Box]) -> list[Any]:
+        """Answer every box by summing ``(-1)^{#lows}·D(corner)``."""
+        g = self.group
+        d = self.points.dim
+        corners: list[tuple[int, ...]] = []
+        terms: list[list[tuple[int, int]]] = []  # per box: (corner idx, sign)
+        for box in boxes:
+            rb = self.space.to_rank_box(box)
+            entry: list[tuple[int, int]] = []
+            if not rb.is_empty():
+                for mask in range(1 << d):
+                    corner = []
+                    sign = 1
+                    dead = False
+                    for t in range(d):
+                        if mask & (1 << t):
+                            sign = -sign
+                            c = rb.los[t] - 1
+                            if c < 0:
+                                dead = True
+                                break
+                            corner.append(c)
+                        else:
+                            corner.append(rb.his[t])
+                    if dead:
+                        continue
+                    entry.append((len(corners), sign))
+                    corners.append(tuple(corner))
+            terms.append(entry)
+        dom = offline_dominance(self.space.ranks, self.weights, corners, g)
+        answers: list[Any] = []
+        for entry in terms:
+            acc = g.identity
+            for idx, sign in entry:
+                acc = g.combine(acc, dom[idx] if sign > 0 else g.inverse(dom[idx]))
+            answers.append(acc)
+        return answers
+
+    def batch_count(self, boxes: Sequence[Box]) -> list[int]:
+        """Counting convenience (works when the group counts, e.g. count_group)."""
+        return self.batch_aggregate(boxes)

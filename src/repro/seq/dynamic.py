@@ -1,0 +1,172 @@
+"""Dynamized range tree via the logarithmic method (Bentley, [4] in the paper).
+
+Section 6 lists dynamization as open for the *distributed* structure:
+"the range tree is inherently static; a dynamic distributed data structure
+would be more powerful although more difficult to implement".  This module
+implements the standard sequential answer — Bentley's decomposable
+searching problems technique, which is reference [4] of the paper itself:
+
+* the point set is kept as O(log n) static range trees of sizes that are
+  distinct powers of two ("buckets");
+* an insert merges all full buckets of sizes ``1, 2, ..., 2^{k-1}`` plus
+  the new point into one rebuilt structure of size ``2^k`` (amortised
+  O(log^d n) rebuild work per insert);
+* range search is *decomposable*: the answer is the fold of the answers of
+  the buckets;
+* deletion is supported two ways: for report/count, a tombstone filter;
+  for aggregates over an :class:`~repro.semigroup.group.AbelianGroup`, a
+  shadow structure of deleted points whose aggregate is subtracted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..errors import GeometryError, ReproError
+from ..geometry.box import Box
+from ..geometry.point import PointSet
+from ..semigroup import COUNT, Semigroup
+from ..semigroup.group import AbelianGroup
+from .range_tree import SequentialRangeTree
+
+__all__ = ["DynamicRangeTree"]
+
+
+class DynamicRangeTree:
+    """Insert/delete-capable range search built from static range trees."""
+
+    def __init__(self, dim: int, semigroup: Semigroup = COUNT) -> None:
+        if dim < 1:
+            raise GeometryError("dimension must be >= 1")
+        self.dim = dim
+        self.semigroup = semigroup
+        #: bucket k holds a static tree over exactly 2^k live-or-dead points
+        self._buckets: dict[int, tuple[SequentialRangeTree, list[tuple[int, tuple[float, ...]]]]] = {}
+        self._tombstones: set[int] = set()
+        self._ids: set[int] = set()
+        self._coords_by_id: dict[int, tuple[float, ...]] = {}
+        self._next_auto_id = 0
+        self._live = 0
+        self._rebuild_points = 0  # amortisation accounting (for tests/benches)
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert(self, coords: Sequence[float], pid: int | None = None) -> int:
+        """Insert one point; returns its id (auto-assigned if omitted)."""
+        if len(coords) != self.dim:
+            raise GeometryError(f"expected {self.dim} coordinates, got {len(coords)}")
+        if pid is None:
+            pid = self._next_auto_id
+        if pid in self._ids:
+            raise ReproError(f"point id {pid} already present")
+        self._ids.add(pid)
+        self._coords_by_id[pid] = tuple(float(c) for c in coords)
+        self._next_auto_id = max(self._next_auto_id, pid + 1)
+        carry: list[tuple[int, tuple[float, ...]]] = [(pid, tuple(float(c) for c in coords))]
+        k = 0
+        while k in self._buckets:
+            _tree, recs = self._buckets.pop(k)
+            carry.extend(recs)
+            k += 1
+        self._buckets[k] = (self._build(carry), carry)
+        self._rebuild_points += len(carry)
+        self._live += 1
+        return pid
+
+    def insert_many(self, coords_list: Iterable[Sequence[float]]) -> list[int]:
+        return [self.insert(c) for c in coords_list]
+
+    def delete(self, pid: int) -> None:
+        """Tombstone-delete a point by id."""
+        if pid not in self._ids:
+            raise ReproError(f"point id {pid} not present")
+        self._ids.remove(pid)
+        self._coords_by_id.pop(pid, None)
+        self._tombstones.add(pid)
+        self._live -= 1
+        # rebuild from scratch once half the structure is dead (keeps
+        # queries O(log^d n) in the number of *live* points, amortised)
+        if self._tombstones and len(self._tombstones) * 2 >= self._total_records():
+            self._compact()
+
+    def _compact(self) -> None:
+        live = [(q, c) for q, c in self._iter_records() if q not in self._tombstones]
+        self._buckets.clear()
+        self._tombstones.clear()
+        for q, c in live:
+            # re-insert without the duplicate check (ids are known distinct)
+            carry = [(q, c)]
+            k = 0
+            while k in self._buckets:
+                _t, recs = self._buckets.pop(k)
+                carry.extend(recs)
+                k += 1
+            self._buckets[k] = (self._build(carry), carry)
+            self._rebuild_points += len(carry)
+
+    # ------------------------------------------------------------------
+    # queries (decomposable: fold over buckets)
+    # ------------------------------------------------------------------
+    def report(self, box: Box) -> list[int]:
+        """Sorted live ids inside the closed box."""
+        out: list[int] = []
+        for tree, _recs in self._buckets.values():
+            out.extend(i for i in tree.report(box) if i not in self._tombstones)
+        return sorted(out)
+
+    def count(self, box: Box) -> int:
+        """Number of live points inside the box."""
+        if not self._tombstones:
+            return sum(t.count(box) for t, _ in self._buckets.values())
+        return len(self.report(box))
+
+    def aggregate(self, box: Box) -> Any:
+        """Fold the semigroup over live points in the box.
+
+        With tombstones present this needs an AbelianGroup (deleted points'
+        contributions are subtracted); without tombstones any semigroup
+        works.
+        """
+        sg = self.semigroup
+        total = sg.fold(t.aggregate(box) for t, _ in self._buckets.values())
+        if not self._tombstones:
+            return total
+        if not isinstance(sg, AbelianGroup):
+            raise ReproError(
+                "aggregate with deletions requires an AbelianGroup "
+                "(the paper's 'associative functions with inverses')"
+            )
+        dead = sg.identity
+        by_id = {q: c for q, c in self._iter_records() if q in self._tombstones}
+        for pid, coords in by_id.items():
+            if box.contains_point(coords):
+                dead = sg.combine(dead, sg.lift(pid, coords))
+        return sg.subtract(total, dead)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._live
+
+    @property
+    def bucket_sizes(self) -> list[int]:
+        """Sizes of the static structures (distinct powers of two)."""
+        return sorted(len(recs) for _t, recs in self._buckets.values())
+
+    @property
+    def rebuild_points_total(self) -> int:
+        """Total points ever (re)built — amortisation observable."""
+        return self._rebuild_points
+
+    def _total_records(self) -> int:
+        return sum(len(recs) for _t, recs in self._buckets.values())
+
+    def _iter_records(self):
+        for _t, recs in self._buckets.values():
+            yield from recs
+
+    def _build(self, recs: list[tuple[int, tuple[float, ...]]]) -> SequentialRangeTree:
+        pts = PointSet([c for _q, c in recs], ids=[q for q, _c in recs])
+        return SequentialRangeTree(pts, semigroup=self.semigroup)

@@ -1,0 +1,360 @@
+"""The sequential d-dimensional range tree (paper Definition 1).
+
+A j-dimensional range tree for a point set is a *primary segment tree* over
+one dimension, where every node ``v`` carries a pointer ``descendant(v)``
+to a (j-1)-dimensional range tree over the points ``W(v)`` covered by
+``v``'s segment.  Size ``O(n log^{d-1} n)``, query ``O(log^d n)``.
+
+Two classes live here:
+
+* :class:`RangeTree` — the rank-space core.  It operates on *global* rank
+  vectors and arbitrary row subsets, which lets the distributed layer build
+  forest elements (range trees on ``n/p`` points embedded in the global
+  rank domain) with the same code, and lets the paper's hat/forest
+  interplay compare segments consistently.
+* :class:`SequentialRangeTree` — the user-facing facade over real
+  coordinates (rank normalisation, power-of-two padding, id filtering).
+
+Queries support the paper's three outcomes: the canonical dimension-d
+selection (:meth:`RangeTree.canonical`), the associative-function mode
+(:meth:`RangeTree.aggregate`) and the report mode (:meth:`RangeTree.report`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import DimensionMismatch, GeometryError
+from ..geometry.box import Box, RankBox
+from ..geometry.point import PointSet
+from ..geometry.rankspace import RankedPointSet, pad_to_power_of_two
+from ..semigroup import COUNT, Semigroup
+from .segment_tree import SegTree, WalkStats
+
+__all__ = ["RangeTree", "DimTree", "SequentialRangeTree", "CanonicalSelection"]
+
+
+class DimTree:
+    """One segment tree of the range tree, dividing dimension ``dim``.
+
+    Holds the point rows in rank order of its dimension, the implicit
+    segment tree over their ranks, and either per-node descendant trees
+    (``dim < last``) or per-node aggregate values (``dim == last``).
+    """
+
+    __slots__ = ("dim", "seg", "order", "descendants", "aggs")
+
+    def __init__(
+        self,
+        dim: int,
+        seg: SegTree,
+        order: np.ndarray,
+        descendants: list["DimTree"] | None,
+        aggs: list[Any] | None,
+    ) -> None:
+        self.dim = dim
+        self.seg = seg
+        self.order = order
+        self.descendants = descendants
+        self.aggs = aggs
+
+    @property
+    def npoints(self) -> int:
+        return int(self.order.shape[0])
+
+    def rows_under(self, node: int) -> np.ndarray:
+        """Point rows (global row indices) below a node of this tree."""
+        s, e = self.seg.slice_of(node)
+        return self.order[s:e]
+
+
+class CanonicalSelection:
+    """A dimension-d canonical node selected by a query.
+
+    ``tree`` is the last-dimension :class:`DimTree` containing the node and
+    ``node`` its heap id; the selection's answer set is exactly the leaves
+    below it.
+    """
+
+    __slots__ = ("tree", "node")
+
+    def __init__(self, tree: DimTree, node: int) -> None:
+        self.tree = tree
+        self.node = node
+
+    @property
+    def leaf_count(self) -> int:
+        s, e = self.tree.seg.slice_of(self.node)
+        return e - s
+
+    @property
+    def level(self) -> int:
+        return self.tree.seg.level(self.node)
+
+    def rows(self) -> np.ndarray:
+        return self.tree.rows_under(self.node)
+
+    def agg(self) -> Any:
+        assert self.tree.aggs is not None
+        return self.tree.aggs[self.node]
+
+
+class RangeTree:
+    """Rank-space range tree over a subset of rows of a global rank table.
+
+    Parameters
+    ----------
+    ranks:
+        ``(N, d)`` global rank table (each column a permutation-unique
+        integer key).
+    values:
+        Sequence of length ``N``: the lifted semigroup value of each row
+        (identity for padding sentinels).
+    semigroup:
+        Supplies ``combine``/``identity`` for aggregate maintenance.
+    rows:
+        Row indices this tree covers; defaults to all rows.  ``len(rows)``
+        must be a power of two (guaranteed if the global table was padded
+        and rows come from segment-tree slices).
+    start_dim:
+        First dimension this tree divides; the tree spans dimensions
+        ``start_dim .. d-1`` (a ``(d - start_dim)``-dimensional range tree,
+        matching forest elements "of dimension j <= d").
+    """
+
+    __slots__ = ("ranks", "values", "semigroup", "start_dim", "d", "root_tree", "stats")
+
+    def __init__(
+        self,
+        ranks: np.ndarray,
+        values: Sequence[Any],
+        semigroup: Semigroup,
+        rows: np.ndarray | None = None,
+        start_dim: int = 0,
+        stats: WalkStats | None = None,
+    ) -> None:
+        ranks = np.asarray(ranks, dtype=np.int64)
+        if ranks.ndim != 2:
+            raise GeometryError("ranks must be an (N, d) array")
+        self.ranks = ranks
+        self.values = values
+        self.semigroup = semigroup
+        self.d = int(ranks.shape[1])
+        if not 0 <= start_dim < self.d:
+            raise DimensionMismatch(self.d, start_dim, "start dimension")
+        self.start_dim = start_dim
+        self.stats = stats if stats is not None else WalkStats()
+        if rows is None:
+            rows = np.arange(ranks.shape[0], dtype=np.int64)
+        else:
+            rows = np.asarray(rows, dtype=np.int64)
+        self.root_tree = self._build(rows, start_dim)
+
+    # ------------------------------------------------------------------
+    # construction (the classical bottom-up sequential algorithm)
+    # ------------------------------------------------------------------
+    def _build(self, rows: np.ndarray, dim: int) -> DimTree:
+        order = rows[np.argsort(self.ranks[rows, dim], kind="stable")]
+        seg = SegTree(self.ranks[order, dim])
+        if dim == self.d - 1:
+            aggs = self._build_aggs(seg, order)
+            return DimTree(dim, seg, order, None, aggs)
+        m = seg.m
+        descendants: list[DimTree | None] = [None] * (2 * m)
+        for node in range(2 * m - 1, 0, -1):
+            s, e = seg.slice_of(node)
+            descendants[node] = self._build(order[s:e], dim + 1)
+        return DimTree(dim, seg, order, descendants, None)  # type: ignore[arg-type]
+
+    def _build_aggs(self, seg: SegTree, order: np.ndarray) -> list[Any]:
+        combine = self.semigroup.combine
+        m = seg.m
+        aggs: list[Any] = [None] * (2 * m)
+        for k in range(m):
+            aggs[m + k] = self.values[order[k]]
+        for node in range(m - 1, 0, -1):
+            aggs[node] = combine(aggs[2 * node], aggs[2 * node + 1])
+        return aggs
+
+    def reannotate(self, values: Sequence[Any], semigroup: Semigroup) -> None:
+        """Swap in a new aggregate function ``f`` without rebuilding topology.
+
+        Re-runs step 1 of Algorithm AssociativeFunction (bottom-up ``f(v)``
+        recomputation) over the existing segment trees; O(s) work instead
+        of the full O(s log s) construction.
+        """
+        self.values = values
+        self.semigroup = semigroup
+        for t in self.iter_dim_trees():
+            if t.aggs is not None:
+                t.aggs = self._build_aggs(t.seg, t.order)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _check_box(self, box: RankBox) -> None:
+        if box.dim != self.d:
+            raise DimensionMismatch(self.d, box.dim, "rank box")
+
+    def canonical(
+        self, box: RankBox, stats: WalkStats | None = None
+    ) -> list[CanonicalSelection]:
+        """The selected dimension-d segment-tree nodes for ``box``.
+
+        This is the output of the paper's Algorithm Search restricted to
+        one query: the ``O(log^d n)`` maximal last-dimension nodes whose
+        leaves are exactly the points in the query domain.
+
+        ``stats`` overrides the tree's shared counter — callers that share
+        one tree object across virtual processors (forest copies) pass a
+        per-call counter so charging is race-free under the thread backend.
+        """
+        self._check_box(box)
+        st = stats if stats is not None else self.stats
+        if box.is_empty():
+            return []
+        out: list[CanonicalSelection] = []
+        self._canonical_rec(self.root_tree, box, out, st)
+        st.nodes_selected += len(out)
+        return out
+
+    def _canonical_rec(
+        self, tree: DimTree, box: RankBox, out: list[CanonicalSelection], st: WalkStats
+    ) -> None:
+        a, b = box.interval(tree.dim)
+
+        def visit(_node: int) -> None:
+            st.nodes_visited += 1
+
+        nodes = tree.seg.decompose(a, b, on_visit=visit)
+        if tree.dim == self.d - 1:
+            out.extend(CanonicalSelection(tree, node) for node in nodes)
+            return
+        assert tree.descendants is not None
+        for node in nodes:
+            self._canonical_rec(tree.descendants[node], box, out, st)
+
+    def aggregate(self, box: RankBox, stats: WalkStats | None = None) -> Any:
+        """Associative-function mode: fold ``f`` over the selection."""
+        sel = self.canonical(box, stats)
+        return self.semigroup.fold(s.agg() for s in sel)
+
+    def report(self, box: RankBox, stats: WalkStats | None = None) -> np.ndarray:
+        """Report mode: the global row indices inside the box (unsorted)."""
+        st = stats if stats is not None else self.stats
+        sel = self.canonical(box, st)
+        if not sel:
+            return np.empty(0, dtype=np.int64)
+        parts = [s.rows() for s in sel]
+        rows = np.concatenate(parts)
+        st.points_reported += int(rows.shape[0])
+        return rows
+
+    def count(self, box: RankBox, stats: WalkStats | None = None) -> int:
+        """Number of points in the box (works for any semigroup: uses leaf counts)."""
+        return sum(s.leaf_count for s in self.canonical(box, stats))
+
+    # ------------------------------------------------------------------
+    # introspection (sizes; used by Theorem 1 and the scaling benches)
+    # ------------------------------------------------------------------
+    @property
+    def npoints(self) -> int:
+        return self.root_tree.npoints
+
+    @property
+    def dims_spanned(self) -> int:
+        """The paper's "dimension" of this tree (primary + descendants)."""
+        return self.d - self.start_dim
+
+    def space_nodes(self) -> int:
+        """Total segment-tree node count (the ``s`` of the paper)."""
+        return sum(2 * t.seg.m - 1 for t in self.iter_dim_trees())
+
+    def space_leaves(self) -> int:
+        """Total leaf count across all segment trees."""
+        return sum(t.seg.m for t in self.iter_dim_trees())
+
+    def iter_dim_trees(self) -> Iterator[DimTree]:
+        stack = [self.root_tree]
+        while stack:
+            t = stack.pop()
+            yield t
+            if t.descendants is not None:
+                stack.extend(c for c in t.descendants[1:] if c is not None)
+
+    def root_agg(self) -> Any:
+        """Aggregate over all points of this tree (identity-safe)."""
+        t = self.root_tree
+        while t.descendants is not None:
+            t = t.descendants[1]
+        assert t.aggs is not None
+        return t.aggs[1]
+
+
+class SequentialRangeTree:
+    """User-facing sequential range tree over real coordinates.
+
+    Handles rank normalisation, power-of-two sentinel padding, lifting the
+    semigroup values, and translating real-coordinate :class:`Box` queries.
+
+    Examples
+    --------
+    >>> from repro.geometry import PointSet, Box
+    >>> t = SequentialRangeTree(PointSet([(1.0, 1.0), (2.0, 5.0), (3.0, 2.0)]))
+    >>> t.count(Box([(0.0, 2.5), (0.0, 3.0)]))
+    1
+    """
+
+    def __init__(self, points: PointSet, semigroup: Semigroup = COUNT) -> None:
+        self.points = points
+        self.semigroup = semigroup
+        self.ranked: RankedPointSet = pad_to_power_of_two(points)
+        values = self._lift_values(self.ranked, points, semigroup)
+        self.stats = WalkStats()
+        self.core = RangeTree(
+            self.ranked.ranks, values, semigroup, stats=self.stats
+        )
+
+    @staticmethod
+    def _lift_values(
+        ranked: RankedPointSet, points: PointSet, semigroup: Semigroup
+    ) -> list[Any]:
+        values: list[Any] = []
+        for i in range(ranked.n):
+            if i < ranked.n_real:
+                values.append(semigroup.lift(points.point_id(i), points.coords[i]))
+            else:
+                values.append(semigroup.identity)
+        return values
+
+    @property
+    def n(self) -> int:
+        """Padded point count (the structural ``n``)."""
+        return self.ranked.n
+
+    @property
+    def dim(self) -> int:
+        return self.points.dim
+
+    def rank_box(self, box: Box) -> RankBox:
+        return self.ranked.to_rank_box(box)
+
+    def count(self, box: Box) -> int:
+        return self.core.count(self.rank_box(box))
+
+    def aggregate(self, box: Box) -> Any:
+        return self.core.aggregate(self.rank_box(box))
+
+    def report(self, box: Box) -> list[int]:
+        """Sorted ids of the points inside ``box``."""
+        rows = self.core.report(self.rank_box(box))
+        ids = self.ranked.ids[rows]
+        return sorted(int(i) for i in ids if i >= 0)
+
+    def canonical(self, box: Box) -> list[CanonicalSelection]:
+        return self.core.canonical(self.rank_box(box))
+
+    def space_nodes(self) -> int:
+        return self.core.space_nodes()

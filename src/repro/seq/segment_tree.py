@@ -1,0 +1,243 @@
+"""The paper's segment tree (Section 2.1).
+
+A ``[0..m)`` segment tree is a *complete* rooted binary tree with ``m``
+leaves (``m`` a power of two).  Leaf ``k`` is associated with the k-th
+smallest rank of the underlying point sequence; an internal node covers the
+union of its children's ranks.  We store the tree implicitly in heap order
+(root = 1, children of ``i`` are ``2i`` and ``2i+1``), which makes node
+arithmetic O(1) and keeps memory to the sorted rank array itself.
+
+Segments are *closed rank intervals* ``[lo, hi]``: the node covering array
+slice ``[s, e)`` has ``lo = ranks[s]`` and ``hi = ranks[e-1]``.  When the
+rank sequence is contiguous this coincides with the paper's dyadic segments
+(Figure 1); for non-contiguous sequences (descendant trees of a range tree,
+whose points carry *global* ranks) the interval is the tightest cover and
+the canonical decomposition below remains correct because slices at one
+level cover disjoint, ordered rank sets.
+
+The query-vs-node comparison implements the paper's four cases (Section 4):
+contained -> select, overlap -> split to both children, disjoint -> die.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+import numpy as np
+
+from .._util import ilog2
+from ..errors import GeometryError
+
+__all__ = ["SegTree", "WalkOutcome", "OUTCOME_SELECT", "OUTCOME_SPLIT", "OUTCOME_DIE"]
+
+OUTCOME_SELECT = "select"
+OUTCOME_SPLIT = "split"
+OUTCOME_DIE = "die"
+
+
+@dataclass(frozen=True, slots=True)
+class WalkOutcome:
+    """Result of comparing a query interval with one node (4-case walk)."""
+
+    kind: str  # one of OUTCOME_SELECT / OUTCOME_SPLIT / OUTCOME_DIE
+    children: tuple[int, ...] = ()
+
+
+class SegTree:
+    """Implicit complete binary segment tree over a sorted rank array.
+
+    Parameters
+    ----------
+    sorted_ranks:
+        1-d integer array of ranks in strictly increasing order whose length
+        is a power of two.  The tree does not copy it.
+
+    Notes
+    -----
+    *Heap ids*: nodes are addressed by heap index ``1 .. 2m-1``; leaves are
+    ``m .. 2m-1`` left to right.  ``level(v)`` is the paper's Definition 2(i)
+    (distance to a leaf), so leaves have level 0 and the root ``log2 m``.
+    """
+
+    __slots__ = ("ranks", "m", "height")
+
+    def __init__(self, sorted_ranks: np.ndarray) -> None:
+        ranks = np.asarray(sorted_ranks, dtype=np.int64)
+        if ranks.ndim != 1:
+            raise GeometryError("SegTree needs a 1-d rank array")
+        m = int(ranks.shape[0])
+        self.height = ilog2(m)  # validates power of two
+        if m > 1 and not bool(np.all(ranks[1:] > ranks[:-1])):
+            raise GeometryError("SegTree ranks must be strictly increasing")
+        self.ranks = ranks
+        self.m = m
+
+    # ------------------------------------------------------------------
+    # node arithmetic
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> int:
+        return 1
+
+    @property
+    def size(self) -> int:
+        """Number of nodes (2m - 1)."""
+        return 2 * self.m - 1
+
+    def is_leaf(self, node: int) -> bool:
+        return node >= self.m
+
+    def depth(self, node: int) -> int:
+        """Distance from the root (root = 0)."""
+        return node.bit_length() - 1
+
+    def level(self, node: int) -> int:
+        """Paper Definition 2(i): distance to a leaf (leaf = 0)."""
+        return self.height - self.depth(node)
+
+    def left(self, node: int) -> int:
+        return 2 * node
+
+    def right(self, node: int) -> int:
+        return 2 * node + 1
+
+    def parent(self, node: int) -> int:
+        return node >> 1
+
+    def slice_of(self, node: int) -> tuple[int, int]:
+        """Half-open array slice ``[s, e)`` of leaves under ``node``."""
+        depth = self.depth(node)
+        width = self.m >> depth
+        offset = node - (1 << depth)
+        s = offset * width
+        return s, s + width
+
+    def seg(self, node: int) -> tuple[int, int]:
+        """Closed rank interval ``[lo, hi]`` covered by ``node``."""
+        s, e = self.slice_of(node)
+        return int(self.ranks[s]), int(self.ranks[e - 1])
+
+    def nodes_at_level(self, level: int) -> range:
+        """All heap ids with the given level, left to right."""
+        if not 0 <= level <= self.height:
+            raise GeometryError(f"level {level} out of range 0..{self.height}")
+        depth = self.height - level
+        return range(1 << depth, 1 << (depth + 1))
+
+    def iter_nodes(self) -> Iterator[int]:
+        return iter(range(1, 2 * self.m))
+
+    def leaf_for_position(self, pos: int) -> int:
+        """Heap id of the leaf over array position ``pos``."""
+        if not 0 <= pos < self.m:
+            raise GeometryError(f"leaf position {pos} out of range")
+        return self.m + pos
+
+    # ------------------------------------------------------------------
+    # the 4-case walk (Section 4) and the canonical decomposition
+    # ------------------------------------------------------------------
+    def compare(self, node: int, a: int, b: int) -> WalkOutcome:
+        """Compare query interval ``[a, b]`` with ``node`` (paper 4 cases).
+
+        ``select``  - the node's segment is contained in the query
+        ``split``   - partial overlap: visit the overlapping children
+        ``die``     - disjoint
+        """
+        lo, hi = self.seg(node)
+        if b < lo or hi < a:
+            return WalkOutcome(OUTCOME_DIE)
+        if a <= lo and hi <= b:
+            return WalkOutcome(OUTCOME_SELECT)
+        children = []
+        for child in (self.left(node), self.right(node)):
+            clo, chi = self.seg(child)
+            if not (b < clo or chi < a):
+                children.append(child)
+        return WalkOutcome(OUTCOME_SPLIT, tuple(children))
+
+    def decompose(
+        self,
+        a: int,
+        b: int,
+        on_visit: Callable[[int], None] | None = None,
+    ) -> list[int]:
+        """Canonical decomposition of ``[a, b]``: maximal covered nodes.
+
+        Returns the heap ids of the ``O(log m)`` maximal nodes whose
+        segments are contained in ``[a, b]``, in left-to-right order.
+        ``on_visit`` (if given) is called once per node *visited* during the
+        walk — the quantity the paper's complexity analysis counts.
+        """
+        if a > b:
+            return []
+        out: list[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if on_visit is not None:
+                on_visit(node)
+            outcome = self.compare(node, a, b)
+            if outcome.kind == OUTCOME_SELECT:
+                out.append(node)
+            elif outcome.kind == OUTCOME_SPLIT:
+                # push right first so output order is left-to-right
+                for child in reversed(outcome.children):
+                    stack.append(child)
+        return out
+
+    def positions_under(self, node: int) -> range:
+        """Array positions of the leaves below ``node``."""
+        s, e = self.slice_of(node)
+        return range(s, e)
+
+    def count_in(self, a: int, b: int) -> int:
+        """Number of stored ranks inside ``[a, b]`` (binary search)."""
+        if a > b:
+            return 0
+        left = int(np.searchsorted(self.ranks, a, side="left"))
+        right = int(np.searchsorted(self.ranks, b, side="right"))
+        return right - left
+
+    # ------------------------------------------------------------------
+    # rendering (used by the Figure 1 reproduction)
+    # ------------------------------------------------------------------
+    def render(self, one_based: bool = True) -> str:
+        """ASCII rendering of the tree's segments, one level per line.
+
+        With ``one_based=True`` and contiguous ranks ``0..m-1`` this
+        reproduces the labels of the paper's Figure 1: leaves
+        ``[1,2) [2,3) ... [m,m]`` and dyadic internal segments.
+        """
+        off = 1 if one_based else 0
+        last = int(self.ranks[-1])
+        lines = []
+        for level in range(self.height, -1, -1):
+            cells = []
+            for node in self.nodes_at_level(level):
+                lo, hi = self.seg(node)
+                if hi == last:
+                    # segments touching the right end are closed: [7,8], [5,8], [1,8]
+                    cells.append(f"[{lo + off},{hi + off}]")
+                else:
+                    cells.append(f"[{lo + off},{hi + off + 1})")
+            lines.append(" ".join(cells))
+        return "\n".join(lines)
+
+
+@dataclass
+class WalkStats:
+    """Mutable visit counters shared by the sequential structures."""
+
+    nodes_visited: int = 0
+    nodes_selected: int = 0
+    points_reported: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def merge(self, other: "WalkStats") -> None:
+        self.nodes_visited += other.nodes_visited
+        self.nodes_selected += other.nodes_selected
+        self.points_reported += other.points_reported
+
+
+__all__.append("WalkStats")

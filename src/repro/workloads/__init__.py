@@ -1,0 +1,33 @@
+"""Synthetic point and query workload generators."""
+
+from .points import (
+    POINT_DISTRIBUTIONS,
+    clustered_points,
+    diagonal_points,
+    grid_points,
+    make_points,
+    uniform_points,
+)
+from .queries import (
+    QUERY_WORKLOADS,
+    hotspot_queries,
+    make_queries,
+    point_centred_queries,
+    selectivity_queries,
+    uniform_queries,
+)
+
+__all__ = [
+    "POINT_DISTRIBUTIONS",
+    "uniform_points",
+    "clustered_points",
+    "grid_points",
+    "diagonal_points",
+    "make_points",
+    "QUERY_WORKLOADS",
+    "uniform_queries",
+    "selectivity_queries",
+    "hotspot_queries",
+    "point_centred_queries",
+    "make_queries",
+]

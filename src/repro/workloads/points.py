@@ -1,0 +1,87 @@
+"""Synthetic point distributions.
+
+The paper evaluates on abstract point sets (its experiments are
+model-level); these generators provide the workloads the DIMACS challenge
+context implies: uniform random, clustered (Gaussian mixture), grid-aligned
+(heavy coordinate ties, stressing rank-space tie-breaks), and correlated
+diagonal data (stressing unbalanced k-D tree cuts).  All generators are
+deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.point import PointSet
+
+__all__ = [
+    "uniform_points",
+    "clustered_points",
+    "grid_points",
+    "diagonal_points",
+    "make_points",
+    "POINT_DISTRIBUTIONS",
+]
+
+
+def uniform_points(n: int, d: int, seed: int = 0, lo: float = 0.0, hi: float = 1.0) -> PointSet:
+    """``n`` points uniform in ``[lo, hi]^d``."""
+    rng = np.random.default_rng(seed)
+    return PointSet(rng.uniform(lo, hi, size=(n, d)))
+
+
+def clustered_points(
+    n: int,
+    d: int,
+    seed: int = 0,
+    clusters: int = 8,
+    spread: float = 0.03,
+) -> PointSet:
+    """Gaussian mixture: ``clusters`` centres in the unit cube.
+
+    Produces the skewed spatial density that makes load balancing matter
+    (experiment M1's hot spots are drawn from one cluster).
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.1, 0.9, size=(clusters, d))
+    assign = rng.integers(0, clusters, size=n)
+    pts = centers[assign] + rng.normal(0.0, spread, size=(n, d))
+    return PointSet(pts)
+
+
+def grid_points(n: int, d: int, seed: int = 0, cells: int = 16) -> PointSet:
+    """Points snapped to a coarse grid: many exactly-equal coordinates.
+
+    Exercises the rank-space tie-breaking rule (insertion order), which the
+    paper assumes away via general position.
+    """
+    rng = np.random.default_rng(seed)
+    raw = rng.integers(0, cells, size=(n, d)).astype(np.float64)
+    return PointSet(raw / cells)
+
+
+def diagonal_points(n: int, d: int, seed: int = 0, noise: float = 0.01) -> PointSet:
+    """Strongly correlated points hugging the main diagonal."""
+    rng = np.random.default_rng(seed)
+    t = rng.uniform(0.0, 1.0, size=(n, 1))
+    pts = np.repeat(t, d, axis=1) + rng.normal(0.0, noise, size=(n, d))
+    return PointSet(pts)
+
+
+POINT_DISTRIBUTIONS = {
+    "uniform": uniform_points,
+    "clustered": clustered_points,
+    "grid": grid_points,
+    "diagonal": diagonal_points,
+}
+
+
+def make_points(name: str, n: int, d: int, seed: int = 0) -> PointSet:
+    """Dispatch by distribution name (CLI / bench harness entry point)."""
+    try:
+        gen = POINT_DISTRIBUTIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown distribution {name!r}; choose from {sorted(POINT_DISTRIBUTIONS)}"
+        ) from None
+    return gen(n, d, seed=seed)

@@ -1,0 +1,121 @@
+"""Synthetic batched query workloads.
+
+Algorithm Search answers batches of ``m = O(n)`` queries; these generators
+produce such batches with controlled *selectivity* (expected fraction of
+points matched) and *skew* (where query centres land), plus the adversarial
+hot-spot batch used by experiment M1 in which every query aims at the same
+small region — the case that defeats static partitioning and exercises the
+paper's demand-proportional forest replication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.box import Box
+from ..geometry.point import PointSet
+
+__all__ = [
+    "uniform_queries",
+    "selectivity_queries",
+    "hotspot_queries",
+    "point_centred_queries",
+    "make_queries",
+    "QUERY_WORKLOADS",
+]
+
+
+def _boxes_from_centres(centres: np.ndarray, half_widths: np.ndarray) -> list[Box]:
+    out = []
+    for c, w in zip(centres, half_widths):
+        out.append(Box([(float(ci - wi), float(ci + wi)) for ci, wi in zip(c, w)]))
+    return out
+
+
+def uniform_queries(
+    m: int,
+    d: int,
+    seed: int = 0,
+    half_width: float = 0.1,
+) -> list[Box]:
+    """Fixed-size cubes with uniformly random centres in the unit cube."""
+    rng = np.random.default_rng(seed)
+    centres = rng.uniform(0.0, 1.0, size=(m, d))
+    widths = np.full((m, d), half_width)
+    return _boxes_from_centres(centres, widths)
+
+
+def selectivity_queries(
+    m: int,
+    d: int,
+    seed: int = 0,
+    selectivity: float = 0.01,
+) -> list[Box]:
+    """Cubes sized so a uniform point matches with probability ~selectivity.
+
+    For uniform data in the unit cube, a cube of side ``s`` captures ``s^d``
+    of the mass, so we use ``s = selectivity^(1/d)`` (clipped to the cube).
+    """
+    if not 0.0 < selectivity <= 1.0:
+        raise ValueError(f"selectivity must be in (0, 1], got {selectivity}")
+    rng = np.random.default_rng(seed)
+    side = selectivity ** (1.0 / d)
+    centres = rng.uniform(0.0, 1.0, size=(m, d))
+    widths = np.full((m, d), side / 2.0)
+    return _boxes_from_centres(centres, widths)
+
+
+def hotspot_queries(
+    m: int,
+    d: int,
+    seed: int = 0,
+    centre: float = 0.5,
+    half_width: float = 0.05,
+    jitter: float = 0.01,
+) -> list[Box]:
+    """Adversarial batch: every query covers (nearly) the same region.
+
+    All queries route to the same forest groups, creating maximal
+    congestion; the paper's copy-and-distribute step (Search steps 2-4)
+    must replicate those groups to keep per-processor load at O(|Q|/p).
+    """
+    rng = np.random.default_rng(seed)
+    centres = np.full((m, d), centre) + rng.uniform(-jitter, jitter, size=(m, d))
+    widths = np.full((m, d), half_width)
+    return _boxes_from_centres(centres, widths)
+
+
+def point_centred_queries(
+    points: PointSet,
+    m: int,
+    seed: int = 0,
+    half_width: float = 0.05,
+) -> list[Box]:
+    """Queries centred on randomly chosen *data* points.
+
+    Guarantees non-empty results on clustered data, where uniform centres
+    mostly hit empty space.
+    """
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(0, points.n, size=m)
+    centres = points.coords[picks]
+    widths = np.full((m, points.dim), half_width)
+    return _boxes_from_centres(centres, widths)
+
+
+QUERY_WORKLOADS = {
+    "uniform": uniform_queries,
+    "selectivity": selectivity_queries,
+    "hotspot": hotspot_queries,
+}
+
+
+def make_queries(name: str, m: int, d: int, seed: int = 0, **kwargs) -> list[Box]:
+    """Dispatch by workload name (CLI / bench harness entry point)."""
+    try:
+        gen = QUERY_WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown query workload {name!r}; choose from {sorted(QUERY_WORKLOADS)}"
+        ) from None
+    return gen(m, d, seed=seed, **kwargs)

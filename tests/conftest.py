@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry import PointSet
+from repro.workloads import uniform_points
+
+
+@pytest.fixture
+def small_points_2d() -> PointSet:
+    """A deterministic 2-d point set used across structural tests."""
+    return uniform_points(60, 2, seed=42)
+
+
+@pytest.fixture
+def small_points_3d() -> PointSet:
+    return uniform_points(40, 3, seed=43)
+
+
+@pytest.fixture
+def tiny_points_1d() -> PointSet:
+    return uniform_points(20, 1, seed=44)

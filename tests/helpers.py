@@ -1,0 +1,30 @@
+"""Shared test helpers (query generators)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import Box
+
+
+def random_boxes(rng: np.random.Generator, m: int, d: int, max_side: float = 0.5) -> list[Box]:
+    """Random closed boxes in the unit cube with random side lengths."""
+    out = []
+    for _ in range(m):
+        lo = rng.uniform(0.0, 1.0, size=d)
+        side = rng.uniform(0.0, max_side, size=d)
+        out.append(Box([(float(l), float(min(1.0, l + s))) for l, s in zip(lo, side)]))
+    return out
+
+
+def grid_of_boxes(d: int, per_dim: int = 3) -> list[Box]:
+    """A deterministic small grid of query boxes covering the unit cube."""
+    cuts = np.linspace(0.0, 1.0, per_dim + 1)
+    boxes = []
+    boxes.append(Box([(0.0, 1.0)] * d))
+    for j in range(d):
+        for k in range(per_dim):
+            bounds = [(0.0, 1.0)] * d
+            bounds[j] = (float(cuts[k]), float(cuts[k + 1]))
+            boxes.append(Box(bounds))
+    return boxes

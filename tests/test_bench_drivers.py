@@ -1,0 +1,101 @@
+"""Tests that the experiment drivers produce well-formed, claim-satisfying
+tables (the slow sweeps run in benchmarks/; here we use the fast ones and
+shrunken parameters)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    EXPERIMENTS,
+    Table,
+    run_cav1,
+    run_dy1,
+    run_f1,
+    run_f2,
+    run_f3,
+    run_sq1,
+)
+
+
+class TestTable:
+    def test_add_row_arity_checked(self):
+        t = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_column_access(self):
+        t = Table("t", ["a", "b"])
+        t.add_row(1, "x")
+        t.add_row(2, "y")
+        assert t.column("a") == [1, 2]
+        assert t.column("b") == ["x", "y"]
+
+    def test_render_contains_everything(self):
+        t = Table("My Title", ["col"])
+        t.add_row(3.14159)
+        t.add_note("a note")
+        text = t.render()
+        assert "My Title" in text and "col" in text and "3.142" in text and "a note" in text
+
+    def test_markdown_shape(self):
+        t = Table("T", ["x", "y"])
+        t.add_row(1, 2)
+        md = t.to_markdown()
+        assert md.splitlines()[0] == "### T"
+        assert "| x | y |" in md
+
+    def test_float_formatting(self):
+        t = Table("T", ["v"])
+        t.add_row(0.0)
+        t.add_row(1234567.0)
+        t.add_row(0.000001)
+        rendered = t.render()
+        assert "1.23e+06" in rendered and "1e-06" in rendered
+
+    def test_stack(self):
+        a = Table("A", ["x"])
+        b = Table("B", ["x"])
+        assert "A" in Table.stack([a, b]) and "B" in Table.stack([a, b])
+
+
+class TestRegistry:
+    def test_all_ids_have_descriptions_and_callables(self):
+        for key, (desc, fn) in EXPERIMENTS.items():
+            assert isinstance(desc, str) and desc
+            assert callable(fn)
+
+    def test_expected_ids_present(self):
+        expected = {"F1", "F2", "F3", "T1", "C1", "C2", "S1", "A1", "R1",
+                    "B1", "B2", "X1", "M1", "CAV1", "D1", "DY1", "SQ1", "SP1"}
+        assert expected == set(EXPERIMENTS)
+
+
+class TestFastDrivers:
+    def test_f1_matches_paper(self):
+        t = run_f1()
+        assert all(m == "yes" for m in t.column("match"))
+
+    def test_f2_zero_violations(self):
+        t = run_f2()
+        assert "0 index inheritance violations" in t.notes[-1]
+
+    def test_f3_small_params(self):
+        t = run_f3(n=32, p=4)
+        rows = {r[0]: r[2] for r in t.rows}
+        assert rows["primary-hat leaves"] == 4
+        assert rows["points per forest element"] == 8
+
+    def test_cav1_counts_exact(self):
+        t = run_cav1()
+        for *_ctx, records, theory in t.rows:
+            assert records == theory
+
+    def test_dy1_amortisation(self):
+        t = run_dy1()
+        for _n, rebuilt, bound, _buckets, ok in t.rows:
+            assert rebuilt <= bound and ok == "yes"
+
+    def test_sq1_all_correct(self):
+        t = run_sq1(n=256, p=4)
+        assert all(v == "yes" for v in t.column("count ok"))

@@ -1,0 +1,150 @@
+"""Tests for weighted load balancing and group replication ([12])."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cgm import (
+    Machine,
+    assign_copies_round_robin,
+    balance_by_weight,
+    compute_copy_counts,
+)
+from repro.cgm.loadbalance import replicate_groups
+
+
+class TestBalanceByWeight:
+    def test_total_weight_spread(self):
+        mach = Machine(4)
+        items = [[("x", 4)] * 8, [], [], []]  # 8 items of weight 4 on rank 0
+        out = balance_by_weight(mach, items, weight=lambda t: t[1])
+        weights = [sum(t[1] for t in b) for b in out]
+        assert sum(weights) == 32
+        assert max(weights) <= 8 + 4  # avg + one item overshoot
+
+    def test_order_preserved(self):
+        mach = Machine(2)
+        items = [[(i, 1) for i in range(6)], [(i, 1) for i in range(6, 10)]]
+        out = balance_by_weight(mach, items, weight=lambda t: t[1])
+        flat = [t[0] for b in out for t in b]
+        assert flat == list(range(10))
+
+    def test_zero_weights_fall_back_to_counts(self):
+        mach = Machine(4)
+        items = [[("a", 0)] * 8, [], [], []]
+        out = balance_by_weight(mach, items, weight=lambda t: t[1])
+        assert max(len(b) for b in out) <= 2
+
+    def test_single_huge_item(self):
+        mach = Machine(4)
+        items = [[("big", 100)], [("s", 1)], [("s", 1)], [("s", 1)]]
+        out = balance_by_weight(mach, items, weight=lambda t: t[1])
+        assert sum(len(b) for b in out) == 4
+
+    @given(st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_property_no_proc_exceeds_avg_plus_max(self, ws: list[int]):
+        mach = Machine(4)
+        chunk = -(-len(ws) // 4)
+        items = [[(i, w) for i, w in enumerate(ws)][k * chunk:(k + 1) * chunk] for k in range(4)]
+        out = balance_by_weight(mach, items, weight=lambda t: t[1])
+        total = sum(ws)
+        bound = -(-total // 4) + max(ws)
+        assert all(sum(t[1] for t in b) <= bound for b in out)
+
+
+class TestCopyCounts:
+    def test_paper_formula(self):
+        # c_j = ceil(demand_j / ceil(total/p))
+        assert compute_copy_counts([100, 0, 4, 0], total=104, p=4) == [4, 1, 1, 1]
+
+    def test_uniform_demand_needs_one_copy(self):
+        assert compute_copy_counts([25, 25, 25, 25], total=100, p=4) == [1, 1, 1, 1]
+
+    def test_zero_total(self):
+        assert compute_copy_counts([0, 0], total=0, p=2) == [1, 1]
+
+    def test_total_copies_bounded(self):
+        """Σ c_j < p + #groups — the bound that keeps O(1) copies per proc."""
+        for demands in ([7, 1, 1, 1], [10, 0, 0, 0], [3, 3, 2, 2], [0, 0, 0, 12]):
+            p = 4
+            total = sum(demands)
+            c = compute_copy_counts(demands, total, p)
+            assert sum(c) < p + len(demands) + 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=4, max_size=4))
+    @settings(max_examples=60)
+    def test_property_each_copy_serves_at_most_avg(self, demands):
+        p = 4
+        total = sum(demands)
+        c = compute_copy_counts(demands, total, p)
+        per_copy = max(1, -(-total // p))
+        for d, cj in zip(demands, c):
+            assert cj >= 1
+            assert -(-d // cj) <= per_copy or d == 0
+
+
+class TestAssignCopies:
+    def test_owner_keeps_first_copy(self):
+        targets = assign_copies_round_robin([1, 1, 1, 1], p=4)
+        assert [t[0] for t in targets] == [0, 1, 2, 3]
+
+    def test_copy_spread(self):
+        targets = assign_copies_round_robin([4, 1, 1, 1], p=4)
+        assert len(targets[0]) == 4
+        # copies of group 0 land on distinct-ish ranks, O(1) per proc overall
+        from collections import Counter
+
+        per_proc = Counter(t for ts in targets for t in ts)
+        assert max(per_proc.values()) <= 3
+
+
+class TestReplicateGroups:
+    @pytest.mark.parametrize("strategy", ["direct", "doubling"])
+    def test_every_target_holds_copy(self, strategy):
+        mach = Machine(4)
+        payloads = [f"F{j}" for j in range(4)]
+        targets = [[0, 1, 2], [1], [2, 3], [3, 0]]
+        holders = replicate_groups(
+            mach, payloads, targets, weight=lambda s: 5, strategy=strategy
+        )
+        for j, ts in enumerate(targets):
+            for t in ts:
+                assert holders[t][j] == f"F{j}"
+
+    def test_owner_always_holds_own(self):
+        mach = Machine(2)
+        holders = replicate_groups(mach, ["a", "b"], [[0], [1]], weight=lambda s: 1)
+        assert holders[0][0] == "a" and holders[1][1] == "b"
+
+    def test_doubling_caps_per_round_h(self):
+        """Doubling: no proc sends more than one payload per round."""
+        mach = Machine(8)
+        payloads = [f"F{j}" for j in range(8)]
+        targets = [[j for j in range(8)]] + [[j] for j in range(1, 8)]
+        replicate_groups(mach, payloads, targets, weight=lambda s: 10, strategy="doubling")
+        for step in mach.metrics.comm_steps():
+            assert step.h <= 10  # one payload of weight 10 per proc per round
+
+    def test_direct_single_round(self):
+        mach = Machine(8)
+        payloads = [f"F{j}" for j in range(8)]
+        targets = [[j for j in range(8)]] + [[j] for j in range(1, 8)]
+        replicate_groups(mach, payloads, targets, weight=lambda s: 10, strategy="direct")
+        assert mach.metrics.rounds == 1
+        # but the hot owner ships 7 copies in that one round
+        assert mach.metrics.max_h == 70
+
+    def test_doubling_round_count_logarithmic(self):
+        mach = Machine(8)
+        payloads = [f"F{j}" for j in range(8)]
+        targets = [[j for j in range(8)]] + [[j] for j in range(1, 8)]
+        replicate_groups(mach, payloads, targets, weight=lambda s: 1, strategy="doubling")
+        assert mach.metrics.rounds <= 4  # ceil(log2 7) + 1
+
+    def test_unknown_strategy(self):
+        mach = Machine(2)
+        with pytest.raises(ValueError):
+            replicate_groups(mach, ["a", "b"], [[0], [1]], weight=lambda s: 1, strategy="magic")

@@ -1,0 +1,128 @@
+"""Property-based invariants of the communication kernel.
+
+Whatever the algorithms above it do, the exchange layer must never create,
+drop, duplicate or reorder records — these hypothesis tests pin that down
+for arbitrary traffic patterns.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cgm import Machine, partial_sum, route, route_balanced, sample_sort
+
+P = 4
+
+# a traffic pattern: list of (src, dst, payload) triples
+traffic = st.lists(
+    st.tuples(
+        st.integers(0, P - 1),
+        st.integers(0, P - 1),
+        st.integers(-1000, 1000),
+    ),
+    max_size=60,
+)
+
+
+class TestExchangeInvariants:
+    @given(traffic)
+    @settings(max_examples=60, deadline=None)
+    def test_multiset_preserved(self, msgs):
+        mach = Machine(P)
+        out = mach.empty_outboxes()
+        for src, dst, payload in msgs:
+            out[src][dst].append(payload)
+        inboxes = mach.exchange("x", out)
+        sent = Counter(payload for _s, _d, payload in msgs)
+        received = Counter(x for box in inboxes for x in box)
+        assert sent == received
+
+    @given(traffic)
+    @settings(max_examples=60, deadline=None)
+    def test_delivery_to_correct_rank(self, msgs):
+        mach = Machine(P)
+        out = mach.empty_outboxes()
+        for src, dst, payload in msgs:
+            out[src][dst].append((dst, payload))
+        inboxes = mach.exchange("x", out)
+        for rank, box in enumerate(inboxes):
+            assert all(dst == rank for dst, _payload in box)
+
+    @given(traffic)
+    @settings(max_examples=60, deadline=None)
+    def test_source_order_preserved(self, msgs):
+        mach = Machine(P)
+        out = mach.empty_outboxes()
+        seq = 0
+        for src, dst, _payload in msgs:
+            out[src][dst].append((src, seq))
+            seq += 1
+        inboxes = mach.exchange("x", out)
+        for box in inboxes:
+            # within one inbox, records from the same source keep send order
+            per_src: dict[int, list[int]] = {}
+            for src, s in box:
+                per_src.setdefault(src, []).append(s)
+            for seqs in per_src.values():
+                assert seqs == sorted(seqs)
+
+    @given(traffic)
+    @settings(max_examples=40, deadline=None)
+    def test_volume_accounting_consistent(self, msgs):
+        mach = Machine(P)
+        out = mach.empty_outboxes()
+        for src, dst, payload in msgs:
+            out[src][dst].append(payload)
+        mach.exchange("x", out)
+        step = mach.metrics.steps[-1]
+        assert sum(step.sent) == sum(step.received) == len(msgs)
+
+
+class TestHigherPrimitiveInvariants:
+    @given(st.lists(st.integers(-100, 100), max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_route_then_collect_is_permutation(self, xs):
+        mach = Machine(P)
+        chunk = -(-max(1, len(xs)) // P)
+        dist = [xs[i * chunk:(i + 1) * chunk] for i in range(P)]
+        inboxes = route(mach, dist, dest_fn=lambda _r, x: abs(x) % P)
+        assert Counter(x for b in inboxes for x in b) == Counter(xs)
+
+    @given(st.lists(st.integers(-100, 100), max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_route_balanced_is_order_preserving_permutation(self, xs):
+        mach = Machine(P)
+        chunk = -(-max(1, len(xs)) // P)
+        dist = [xs[i * chunk:(i + 1) * chunk] for i in range(P)]
+        out = route_balanced(mach, dist)
+        assert [x for b in out for x in b] == xs
+
+    @given(st.lists(st.text(max_size=3), max_size=24))
+    @settings(max_examples=40, deadline=None)
+    def test_partial_sum_monoid_generic(self, xs):
+        """partial_sum works for any monoid — here, string concatenation."""
+        mach = Machine(P)
+        chunk = -(-max(1, len(xs)) // P)
+        dist = [xs[i * chunk:(i + 1) * chunk] for i in range(P)]
+        got = partial_sum(mach, dist, op=lambda a, b: a + b, zero="")
+        flat = [v for b in got for v in b]
+        acc = ""
+        expect = []
+        for x in xs:
+            acc += x
+            expect.append(acc)
+        assert flat == expect
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 5)), max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_sort_is_permutation_and_ordered(self, pairs):
+        mach = Machine(P)
+        chunk = -(-max(1, len(pairs)) // P)
+        dist = [pairs[i * chunk:(i + 1) * chunk] for i in range(P)]
+        out = sample_sort(mach, dist, key=lambda t: t[0])
+        flat = [x for b in out for x in b]
+        assert Counter(flat) == Counter(pairs)
+        assert [t[0] for t in flat] == sorted(t[0] for t in pairs)

@@ -1,0 +1,102 @@
+"""Tests for the CGM sample sort (the paper's black-box parallel sort)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cgm import Machine, sample_sort, sorted_and_balanced
+
+
+def distribute(xs: list, p: int) -> list[list]:
+    chunk = -(-max(1, len(xs)) // p)
+    return [xs[i * chunk:(i + 1) * chunk] for i in range(p)]
+
+
+class TestSampleSort:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    def test_sorts_and_balances(self, p):
+        rng = random.Random(p)
+        xs = [rng.randrange(10_000) for _ in range(257)]
+        mach = Machine(p)
+        out = sample_sort(mach, distribute(xs, p), key=lambda x: x)
+        flat = [x for b in out for x in b]
+        assert flat == sorted(xs)
+        assert sorted_and_balanced(mach, out, key=lambda x: x)
+
+    def test_constant_rounds(self):
+        """The round count must not depend on the input size (Goodrich)."""
+        rounds = []
+        for size in (40, 400, 4000):
+            mach = Machine(4)
+            xs = list(range(size))
+            random.Random(0).shuffle(xs)
+            sample_sort(mach, distribute(xs, 4), key=lambda x: x)
+            rounds.append(mach.metrics.rounds)
+        assert rounds[0] == rounds[1] == rounds[2]
+
+    def test_heavy_duplicates(self):
+        xs = [7] * 100 + [3] * 50 + [9] * 30
+        random.Random(1).shuffle(xs)
+        mach = Machine(4)
+        out = sample_sort(mach, distribute(xs, 4), key=lambda x: x)
+        flat = [x for b in out for x in b]
+        assert flat == sorted(xs)
+        # duplicates must not all land on one processor
+        sizes = [len(b) for b in out]
+        assert max(sizes) <= -(-len(xs) // 4)
+
+    def test_stability_of_equal_keys(self):
+        """Equal keys keep their original global (rank, index) order."""
+        items = [("k", i) for i in range(20)]
+        mach = Machine(4)
+        out = sample_sort(mach, distribute(items, 4), key=lambda t: t[0])
+        flat = [x for b in out for x in b]
+        assert flat == items
+
+    def test_empty_input(self):
+        mach = Machine(4)
+        out = sample_sort(mach, [[], [], [], []], key=lambda x: x)
+        assert out == [[], [], [], []]
+
+    def test_single_item(self):
+        mach = Machine(4)
+        out = sample_sort(mach, [[], ["z"], [], []], key=lambda x: x)
+        assert [x for b in out for x in b] == ["z"]
+
+    def test_skewed_initial_distribution(self):
+        xs = list(range(100, 0, -1))
+        mach = Machine(4)
+        out = sample_sort(mach, [xs, [], [], []], key=lambda x: x)
+        flat = [x for b in out for x in b]
+        assert flat == sorted(xs)
+        assert max(len(b) for b in out) <= 25
+
+    def test_compound_keys(self):
+        items = [((2,), 5), ((1, 1), 0), ((1,), 9), ((2, 0), 1)]
+        mach = Machine(2)
+        out = sample_sort(mach, distribute(items, 2), key=lambda t: t[0])
+        flat = [x for b in out for x in b]
+        assert [t[0] for t in flat] == sorted(t[0] for t in items)
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_property_sorted_balanced(self, xs: list[int]):
+        mach = Machine(4)
+        out = sample_sort(mach, distribute(xs, 4), key=lambda x: x)
+        flat = [x for b in out for x in b]
+        assert flat == sorted(xs)
+        if xs:
+            assert max(len(b) for b in out) <= -(-len(xs) // 4)
+
+    def test_h_relation_reasonable(self):
+        """No processor sends/receives more than O(N/p + samples)."""
+        xs = list(range(400))
+        random.Random(2).shuffle(xs)
+        mach = Machine(4)
+        sample_sort(mach, distribute(xs, 4), key=lambda x: x)
+        cap = 2 * (len(xs) // 4) + 4 * 4 * 4  # slack for sample exchange
+        assert mach.metrics.max_h <= cap

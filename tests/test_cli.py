@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiments_defaults(self):
+        args = build_parser().parse_args(["experiments"])
+        assert args.ids == []
+        assert not args.markdown
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(["query"])
+        assert args.n == 1024 and args.p == 8 and args.mode == "count"
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--mode", "explode"])
+
+
+class TestExperimentsCommand:
+    def test_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        for key in ("F1", "T1", "C1", "S1", "D1", "DY1", "SQ1"):
+            assert key in out
+
+    def test_unknown_id(self, capsys):
+        assert main(["experiments", "ZZ9"]) == 2
+
+    def test_run_single_fast_experiment(self, capsys):
+        assert main(["experiments", "F1"]) == 0
+        out = capsys.readouterr().out
+        assert "[1,8]" in out and "yes" in out
+
+    def test_markdown_output_to_file(self, tmp_path, capsys):
+        target = tmp_path / "f1.md"
+        assert main(["experiments", "F1", "--markdown", "-o", str(target)]) == 0
+        text = target.read_text()
+        assert text.startswith("### F1")
+        assert "| level |" in text
+
+    def test_lowercase_ids_accepted(self, capsys):
+        assert main(["experiments", "f2"]) == 0
+
+
+class TestQueryCommand:
+    def test_count_with_verify(self, capsys):
+        rc = main(
+            ["query", "--n", "64", "--m", "16", "--p", "4", "--verify"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verification: OK" in out
+
+    def test_report_mode(self, capsys):
+        rc = main(
+            ["query", "--n", "64", "--m", "8", "--p", "4", "--mode", "report", "--verify"]
+        )
+        assert rc == 0
+        assert "verification: OK" in capsys.readouterr().out
+
+    def test_aggregate_mode(self, capsys):
+        rc = main(["query", "--n", "64", "--m", "8", "--p", "4", "--mode", "aggregate"])
+        assert rc == 0
+
+    def test_trace_and_validate(self, capsys):
+        rc = main(
+            ["query", "--n", "64", "--m", "8", "--p", "4", "--trace", "--validate"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "totals:" in out
+        assert "validation: OK" in out
+
+    def test_hotspot_workload(self, capsys):
+        rc = main(
+            ["query", "--n", "64", "--m", "16", "--p", "4", "--queries", "hotspot", "--verify"]
+        )
+        assert rc == 0
+        assert "verification: OK" in capsys.readouterr().out
+
+    def test_clustered_points(self, capsys):
+        rc = main(["query", "--points", "clustered", "--n", "64", "--m", "8", "--p", "2"])
+        assert rc == 0
+
+    def test_thread_backend(self, capsys):
+        rc = main(["query", "--n", "64", "--m", "8", "--p", "2", "--backend", "thread"])
+        assert rc == 0

@@ -1,0 +1,170 @@
+"""Tests for weighted dominance counting (the Section 1 footnote pipeline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Box, PointSet
+from repro.semigroup import AbelianGroup, count_group, sum_group, vector_sum_group
+from repro.seq import (
+    DominanceRangeIndex,
+    FenwickTree,
+    SequentialRangeTree,
+    bf_aggregate,
+    bf_count,
+    offline_dominance,
+)
+from repro.workloads import grid_points, uniform_points
+
+from tests.helpers import random_boxes
+
+
+class TestAbelianGroup:
+    def test_requires_inverse(self):
+        with pytest.raises(TypeError):
+            AbelianGroup(name="bad", lift=lambda p, c: 1, combine=lambda a, b: a + b, identity=0)
+
+    @pytest.mark.parametrize("factory", [count_group, lambda: sum_group(0), lambda: vector_sum_group(2)])
+    def test_inverse_law(self, factory):
+        g = factory()
+        vals = [g.lift(i, (float(i), float(-i))) for i in range(5)]
+        for v in vals:
+            assert g.combine(v, g.inverse(v)) == g.identity
+
+    def test_subtract(self):
+        g = count_group()
+        assert g.subtract(10, 3) == 7
+
+    def test_is_still_a_semigroup(self):
+        g = sum_group(0)
+        assert g.fold([1.0, 2.0, 3.0]) == 6.0
+
+
+class TestFenwick:
+    def test_prefix_sums(self):
+        ft = FenwickTree(8, count_group())
+        for i in (0, 3, 3, 7):
+            ft.add(i, 1)
+        assert ft.prefix(0) == 1
+        assert ft.prefix(2) == 1
+        assert ft.prefix(3) == 3
+        assert ft.prefix(7) == 4
+        assert ft.prefix(-1) == 0
+
+    def test_range_query_uses_inverse(self):
+        ft = FenwickTree(10, count_group())
+        for i in range(10):
+            ft.add(i, 1)
+        assert ft.range(2, 5) == 4
+        assert ft.range(5, 2) == 0
+
+    def test_bounds_checked(self):
+        ft = FenwickTree(4, count_group())
+        with pytest.raises(IndexError):
+            ft.add(4, 1)
+
+    @given(st.lists(st.integers(min_value=0, max_value=15), max_size=50))
+    @settings(max_examples=40)
+    def test_property_matches_list(self, adds):
+        ft = FenwickTree(16, count_group())
+        counts = [0] * 16
+        for i in adds:
+            ft.add(i, 1)
+            counts[i] += 1
+        for k in range(16):
+            assert ft.prefix(k) == sum(counts[: k + 1])
+
+
+class TestOfflineDominance:
+    def _brute(self, ranks, weights, corners):
+        out = []
+        for c in corners:
+            out.append(
+                sum(
+                    w
+                    for r, w in zip(ranks, weights)
+                    if all(x <= y for x, y in zip(r, c))
+                )
+            )
+        return out
+
+    @pytest.mark.parametrize("d", [1, 2, 3, 4])
+    def test_matches_bruteforce(self, d):
+        rng = np.random.default_rng(d)
+        n, q = 40, 25
+        ranks = rng.integers(0, 20, size=(n, d))
+        weights = [1] * n
+        corners = [tuple(int(x) for x in row) for row in rng.integers(0, 20, size=(q, d))]
+        got = offline_dominance(ranks, weights, corners, count_group())
+        assert got == self._brute(ranks, weights, corners)
+
+    def test_ties_are_inclusive(self):
+        ranks = np.array([[5, 5]])
+        got = offline_dominance(ranks, [1], [(5, 5), (4, 5), (5, 4)], count_group())
+        assert got == [1, 0, 0]
+
+    def test_weighted(self):
+        ranks = np.array([[0], [1], [2]])
+        got = offline_dominance(ranks, [10.0, 20.0, 40.0], [(1,), (2,)], sum_group(0))
+        assert got == [30.0, 70.0]
+
+    def test_empty_queries(self):
+        assert offline_dominance(np.array([[0, 0]]), [1], [], count_group()) == []
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), min_size=1, max_size=30),
+        st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), min_size=1, max_size=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_2d(self, pts, corners):
+        ranks = np.array(pts)
+        got = offline_dominance(ranks, [1] * len(pts), corners, count_group())
+        assert got == self._brute(ranks, [1] * len(pts), corners)
+
+
+class TestDominanceRangeIndex:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_counts_match_bruteforce(self, d):
+        pts = uniform_points(50, d, seed=d + 20)
+        idx = DominanceRangeIndex(pts, count_group())
+        rng = np.random.default_rng(21)
+        boxes = random_boxes(rng, 20, d)
+        assert idx.batch_count(boxes) == [bf_count(pts, b) for b in boxes]
+
+    def test_sums_match_bruteforce(self):
+        pts = uniform_points(60, 2, seed=22)
+        g = sum_group(1)
+        idx = DominanceRangeIndex(pts, g)
+        rng = np.random.default_rng(23)
+        for box, got in zip(b := random_boxes(rng, 15, 2), idx.batch_aggregate(b)):
+            assert got == pytest.approx(bf_aggregate(pts, box, g))
+
+    def test_duplicate_coordinates(self):
+        pts = grid_points(50, 2, seed=24, cells=4)
+        idx = DominanceRangeIndex(pts, count_group())
+        rng = np.random.default_rng(25)
+        boxes = random_boxes(rng, 20, 2)
+        assert idx.batch_count(boxes) == [bf_count(pts, b) for b in boxes]
+
+    def test_agrees_with_range_tree(self):
+        """The footnote's two pipelines must agree on invertible aggregates."""
+        pts = uniform_points(64, 2, seed=26)
+        idx = DominanceRangeIndex(pts, count_group())
+        tree = SequentialRangeTree(pts)
+        rng = np.random.default_rng(27)
+        boxes = random_boxes(rng, 25, 2)
+        assert idx.batch_count(boxes) == [tree.count(b) for b in boxes]
+
+    def test_box_at_domain_edge(self):
+        pts = PointSet([(0.0, 0.0), (1.0, 1.0)])
+        idx = DominanceRangeIndex(pts, count_group())
+        assert idx.batch_count([Box.full(2, 0.0, 1.0)]) == [2]
+        assert idx.batch_count([Box.full(2, 0.0, 0.0)]) == [1]
+
+    def test_empty_box(self):
+        pts = PointSet([(0.5, 0.5)])
+        idx = DominanceRangeIndex(pts, count_group())
+        assert idx.batch_count([Box.full(2, 0.6, 0.7)]) == [0]

@@ -1,0 +1,166 @@
+"""Tests for the dynamized range tree (logarithmic method, paper ref [4])."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError, ReproError
+from repro.geometry import Box, PointSet
+from repro.semigroup import max_of_dim, sum_group
+from repro.seq import DynamicRangeTree, bf_count, bf_report
+from repro.workloads import selectivity_queries
+
+
+def live_pointset(coords, ids):
+    return PointSet(coords, ids=ids)
+
+
+class TestInsert:
+    def test_incremental_inserts_query_correctly(self):
+        rng = random.Random(0)
+        dt = DynamicRangeTree(2)
+        coords = []
+        box = Box([(0.2, 0.7), (0.1, 0.8)])
+        for i in range(50):
+            c = (rng.random(), rng.random())
+            dt.insert(c)
+            coords.append(c)
+            assert dt.count(box) == bf_count(PointSet(coords), box)
+
+    def test_bucket_sizes_are_distinct_powers_of_two(self):
+        dt = DynamicRangeTree(1)
+        for i in range(13):
+            dt.insert((float(i),))
+        sizes = dt.bucket_sizes
+        assert sizes == [1, 4, 8]  # 13 = 0b1101
+        assert len(dt) == 13
+
+    def test_custom_ids(self):
+        dt = DynamicRangeTree(1)
+        dt.insert((0.5,), pid=100)
+        assert dt.report(Box([(0.0, 1.0)])) == [100]
+
+    def test_duplicate_id_rejected(self):
+        dt = DynamicRangeTree(1)
+        dt.insert((0.1,), pid=5)
+        with pytest.raises(ReproError):
+            dt.insert((0.2,), pid=5)
+
+    def test_wrong_dim_rejected(self):
+        dt = DynamicRangeTree(2)
+        with pytest.raises(GeometryError):
+            dt.insert((0.1,))
+
+    def test_amortised_rebuild_cost(self):
+        """Total rebuilt points over n inserts is O(n log n)."""
+        dt = DynamicRangeTree(1)
+        n = 256
+        for i in range(n):
+            dt.insert((float(i),))
+        import math
+
+        assert dt.rebuild_points_total <= n * (int(math.log2(n)) + 1)
+
+
+class TestDelete:
+    def test_delete_removes_from_answers(self):
+        dt = DynamicRangeTree(2)
+        a = dt.insert((0.3, 0.3))
+        b = dt.insert((0.6, 0.6))
+        box = Box.full(2, 0.0, 1.0)
+        assert dt.report(box) == sorted([a, b])
+        dt.delete(a)
+        assert dt.report(box) == [b]
+        assert dt.count(box) == 1
+        assert len(dt) == 1
+
+    def test_delete_unknown_rejected(self):
+        dt = DynamicRangeTree(1)
+        with pytest.raises(ReproError):
+            dt.delete(42)
+
+    def test_double_delete_rejected(self):
+        dt = DynamicRangeTree(1)
+        pid = dt.insert((0.5,))
+        dt.delete(pid)
+        with pytest.raises(ReproError):
+            dt.delete(pid)
+
+    def test_compaction_triggers(self):
+        dt = DynamicRangeTree(1)
+        ids = [dt.insert((float(i),)) for i in range(16)]
+        for pid in ids[:8]:
+            dt.delete(pid)
+        # at >= 50% dead the structure compacts: everything live again
+        assert sum(dt.bucket_sizes) == 8
+        assert dt.report(Box([(-1.0, 100.0)])) == ids[8:]
+
+    def test_reinsert_after_delete(self):
+        dt = DynamicRangeTree(1)
+        pid = dt.insert((0.5,), pid=7)
+        dt.delete(pid)
+        dt.insert((0.25,), pid=7)  # id is free again
+        assert dt.report(Box([(0.0, 1.0)])) == [7]
+
+
+class TestAggregates:
+    def test_aggregate_without_deletes_any_semigroup(self):
+        dt = DynamicRangeTree(1, semigroup=max_of_dim(0))
+        for x in (0.2, 0.9, 0.5):
+            dt.insert((x,))
+        assert dt.aggregate(Box([(0.0, 0.6)])) == 0.5
+
+    def test_aggregate_with_deletes_needs_group(self):
+        dt = DynamicRangeTree(1, semigroup=max_of_dim(0))
+        pid = dt.insert((0.2,))
+        dt.insert((0.9,))
+        dt.insert((0.8,))
+        dt.insert((0.7,))
+        dt.delete(pid)
+        with pytest.raises(ReproError, match="AbelianGroup"):
+            dt.aggregate(Box([(0.0, 1.0)]))
+
+    def test_group_aggregate_subtracts_deleted(self):
+        g = sum_group(0)
+        dt = DynamicRangeTree(1, semigroup=g)
+        ids = [dt.insert((float(x),)) for x in (1, 2, 4, 8, 16)]
+        dt.delete(ids[1])  # remove the 2
+        got = dt.aggregate(Box([(0.0, 10.0)]))
+        assert got == pytest.approx(1 + 4 + 8)
+
+
+class TestRandomisedAgainstOracle:
+    def test_mixed_workload(self):
+        rng = random.Random(42)
+        dt = DynamicRangeTree(2)
+        alive: dict[int, tuple[float, float]] = {}
+        queries = selectivity_queries(10, 2, seed=1, selectivity=0.3)
+        for step in range(300):
+            op = rng.random()
+            if op < 0.6 or not alive:
+                c = (rng.random(), rng.random())
+                pid = dt.insert(c)
+                alive[pid] = c
+            else:
+                pid = rng.choice(list(alive))
+                dt.delete(pid)
+                del alive[pid]
+            if step % 25 == 0 and alive:
+                ps = live_pointset(list(alive.values()), list(alive))
+                q = queries[step // 25 % len(queries)]
+                assert dt.report(q) == bf_report(ps, q)
+                assert dt.count(q) == bf_count(ps, q)
+
+    @given(st.lists(st.tuples(st.floats(0, 1, allow_nan=False), st.floats(0, 1, allow_nan=False)), min_size=1, max_size=25))
+    @settings(max_examples=25, deadline=None)
+    def test_property_insert_only(self, coords):
+        dt = DynamicRangeTree(2)
+        dt.insert_many(coords)
+        ps = PointSet(coords)
+        box = Box([(0.25, 0.75), (0.25, 0.75)])
+        assert dt.count(box) == bf_count(ps, box)
+        assert dt.report(box) == bf_report(ps, box)

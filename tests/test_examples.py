@@ -1,0 +1,35 @@
+"""Execute every shipped example end-to-end (they self-assert)."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[1] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path: Path, capsys, monkeypatch):
+    # examples print a lot; swallow it but keep assertions live
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out  # every example narrates what it does
+
+
+def test_example_inventory():
+    """The README promises at least these scenarios."""
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "geospatial_poi",
+        "salary_database",
+        "scaling_demo",
+        "hotspot_balancing",
+        "dynamic_updates",
+    } <= names

@@ -1,0 +1,141 @@
+"""Unit tests for forest elements and distributed record types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dist import DistributedRangeTree
+from repro.dist.forest import build_forest_element
+from repro.dist.records import (
+    ForestRootInfo,
+    HatSelectionRecord,
+    ReportUnit,
+    SRecord,
+    Subquery,
+)
+from repro.geometry import RankBox
+from repro.semigroup import COUNT, sum_of_dim
+from repro.seq.segment_tree import WalkStats
+from repro.workloads import uniform_points
+
+
+def make_element(m=8, d=2, dim=0, seed=0, semigroup=COUNT):
+    rng = np.random.default_rng(seed)
+    # m points with global ranks: contiguous in `dim`, arbitrary elsewhere
+    ranks = np.zeros((m, d), dtype=np.int64)
+    ranks[:, dim] = np.arange(16, 16 + m)
+    for j in range(d):
+        if j != dim:
+            ranks[:, j] = rng.permutation(64)[:m]
+    values = [semigroup.lift(i, (0.0,) * d) for i in range(m)]
+    return build_forest_element(
+        forest_id=((5, 3),),
+        dim=dim,
+        location=2,
+        group_rank=10,
+        ranks_rows=[tuple(r) for r in ranks],
+        pids=list(range(100, 100 + m)),
+        values=values,
+        semigroup=semigroup,
+    ), ranks
+
+
+class TestForestElement:
+    def test_basic_fields(self):
+        el, _ = make_element()
+        assert el.nleaves == 8
+        assert el.location == 2
+        assert el.seg == (16, 23)
+        assert el.size_records >= 8
+
+    def test_root_info_roundtrip(self):
+        el, _ = make_element()
+        info = el.root_info()
+        assert isinstance(info, ForestRootInfo)
+        assert info.path == ((5, 3),)
+        assert info.tree_id == ()
+        assert info.nleaves == 8
+        assert info.location == 2
+        assert info.agg == 8  # count over all points
+
+    def test_canonical_walk(self):
+        el, ranks = make_element()
+        box = RankBox((16, 0), (19, 63))
+        sels = el.canonical(box)
+        total = sum(s.leaf_count for s in sels)
+        expected = sum(1 for r in ranks if 16 <= r[0] <= 19)
+        assert total == expected
+
+    def test_selection_pids(self):
+        el, ranks = make_element()
+        box = RankBox((16, 0), (23, 63))
+        sels = el.canonical(box)
+        pids = sorted(pid for s in sels for pid in el.selection_pids(s))
+        assert pids == list(range(100, 108))
+
+    def test_all_pids(self):
+        el, _ = make_element()
+        assert el.all_pids() == tuple(range(100, 108))
+
+    def test_stats_override_isolated(self):
+        el, _ = make_element()
+        st = WalkStats()
+        el.canonical(RankBox((16, 0), (20, 63)), stats=st)
+        assert st.nodes_visited > 0
+
+    def test_reannotate(self):
+        sg = sum_of_dim(0)
+        el, _ = make_element()
+        new_values = [float(i) for i in range(8)]
+        el.reannotate(new_values, sg)
+        assert el.tree.root_agg() == sum(range(8))
+
+
+class TestRecords:
+    def test_srecord_frozen(self):
+        r = SRecord(tree_id=(), ranks=(1, 2), pid=0, value=1)
+        with pytest.raises(Exception):
+            r.pid = 5  # type: ignore[misc]
+
+    def test_forest_root_info_tree_id(self):
+        info = ForestRootInfo(
+            path=((12, 2), (3, 4)),
+            dim=1,
+            seg=(0, 7),
+            nleaves=8,
+            location=1,
+            group_rank=5,
+            agg=8,
+        )
+        assert info.tree_id == ((3, 4),)
+
+    def test_subquery_carries_box(self):
+        sq = Subquery(qid=3, los=(0, 1), his=(5, 6), forest_id=((1, 0),), location=2)
+        assert RankBox(sq.los, sq.his).interval(1) == (1, 6)
+
+    def test_hat_selection_defaults(self):
+        h = HatSelectionRecord(qid=0, path=((1, 1),), nleaves=4, agg=4)
+        assert h.forest_ids == () and h.locations == ()
+
+    def test_report_unit_weight(self):
+        u = ReportUnit(qid=1, ids=(5, 6, 7))
+        assert u.weight == 3
+        assert ReportUnit(qid=1).weight == 0
+
+
+class TestElementsInsideBuiltTree:
+    def test_every_element_answers_its_own_domain(self):
+        pts = uniform_points(64, 2, seed=80)
+        tree = DistributedRangeTree.build(pts, p=8)
+        for store in tree.forest_store:
+            for el in store.values():
+                # query the element's whole segment: must select everything
+                lo, hi = el.seg
+                d = tree.dim
+                los = [0] * d
+                his = [tree.n - 1] * d
+                los[el.dim] = lo
+                his[el.dim] = hi
+                sels = el.canonical(RankBox(tuple(los), tuple(his)))
+                assert sum(s.leaf_count for s in sels) == el.nleaves

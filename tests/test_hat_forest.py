@@ -1,0 +1,224 @@
+"""Tests for the hat/forest decomposition (Definition 3, Theorem 1, Figure 3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro._util import ilog2
+from repro.dist import DistributedRangeTree
+from repro.geometry import Box
+from repro.workloads import uniform_points
+
+
+def build(n=64, d=2, p=8, seed=0):
+    return DistributedRangeTree.build(uniform_points(n, d, seed=seed), p=p)
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("n,d,p", [(64, 1, 8), (64, 2, 8), (64, 2, 4), (32, 3, 4), (128, 2, 16)])
+    def test_hat_size_bound(self, n, d, p):
+        """|H| = O(p log^{d-1} p): the hat is a range tree with p leaves."""
+        tree = build(n=n, d=d, p=p)
+        logp = max(1, ilog2(p))
+        # a p-leaf range tree has < 4p nodes per dimension level product
+        bound = 4 * p * (logp + 1) ** (d - 1)
+        assert tree.hat.size_nodes() <= bound
+
+    @pytest.mark.parametrize("n,d,p", [(64, 2, 8), (64, 3, 8), (128, 1, 8)])
+    def test_forest_groups_disjoint_and_balanced(self, n, d, p):
+        """Theorem 1(ii): the F_i are disjoint with equal (O(s/p)) sizes."""
+        tree = build(n=n, d=d, p=p)
+        all_ids = [fid for store in tree.forest_store for fid in store]
+        assert len(all_ids) == len(set(all_ids)), "forest groups overlap"
+        sizes = tree.construct_result.forest_group_sizes()
+        assert max(sizes) <= 2 * min(sizes), f"imbalanced groups: {sizes}"
+
+    def test_forest_element_count_per_phase(self):
+        """Dimension-one forest has exactly p elements on n points (Figure 3)."""
+        tree = build(n=64, d=2, p=8)
+        phase0 = [
+            el
+            for store in tree.forest_store
+            for el in store.values()
+            if el.dim == 0
+        ]
+        assert len(phase0) == 8
+        assert all(el.nleaves == 8 for el in phase0)
+
+    def test_every_element_has_n_over_p_points(self):
+        tree = build(n=64, d=2, p=8)
+        for store in tree.forest_store:
+            for el in store.values():
+                assert el.nleaves == 8
+
+    def test_total_forest_plus_hat_covers_structure(self):
+        """Total leaves of forest elements ~= s (the structure's size)."""
+        n, p = 64, 8
+        tree = build(n=n, d=2, p=p)
+        total = sum(tree.construct_result.forest_group_sizes())
+        # s for d=2 = n(log n + 2)-ish in leaves; forest holds all but hat
+        logn = ilog2(n)
+        assert total >= n * logn // 2
+
+    def test_locations_match_owner_rank(self):
+        tree = build(n=64, d=2, p=8)
+        for rank, store in enumerate(tree.forest_store):
+            for el in store.values():
+                assert el.location == rank
+                assert el.group_rank % 8 == rank
+
+
+class TestFigure3Structure:
+    """Figure 3: the hat in dimension 1 with the associated forest, p=8."""
+
+    def test_hat_top_logp_levels(self):
+        n, p = 64, 8
+        tree = build(n=n, d=2, p=p)
+        leaf_level = ilog2(n) - ilog2(p)
+        for node in tree.hat.iter_nodes():
+            assert node.level >= leaf_level
+            if node.is_hat_leaf:
+                assert node.level == leaf_level
+
+    def test_primary_hat_has_p_leaves(self):
+        tree = build(n=64, d=2, p=8)
+        primary_leaves = [
+            v for v in tree.hat.iter_nodes() if v.is_hat_leaf and v.dim == 0
+        ]
+        assert len(primary_leaves) == 8
+
+    def test_descendant_trees_on_halving_point_counts(self):
+        """Figure 3: hat nodes carry descendant range trees on n, n/2, n/4...
+        points (one per internal node of the primary hat)."""
+        n, p = 64, 8
+        tree = build(n=n, d=2, p=p)
+        sizes = sorted(
+            (
+                v.nleaves
+                for v in tree.hat.iter_nodes()
+                if v.dim == 0 and not v.is_hat_leaf
+            ),
+            reverse=True,
+        )
+        assert sizes == [64, 32, 32, 16, 16, 16, 16]
+
+    def test_internal_nodes_have_descendants(self):
+        tree = build(n=64, d=2, p=8)
+        for v in tree.hat.iter_nodes():
+            if v.dim == 0 and not v.is_hat_leaf:
+                assert v.descendant is not None
+                assert v.descendant.dim == 1
+                assert v.descendant.nleaves == v.nleaves
+
+    def test_hat_leaf_of_last_dim_has_no_descendant(self):
+        tree = build(n=64, d=2, p=8)
+        for v in tree.hat.iter_nodes():
+            if v.dim == 1:
+                assert v.descendant is None
+
+
+class TestHatIntegrity:
+    def test_segments_union_of_children(self):
+        tree = build(n=64, d=2, p=8)
+        for v in tree.hat.iter_nodes():
+            if not v.is_hat_leaf:
+                assert v.lo == v.left.lo
+                assert v.hi == v.right.hi
+                assert v.left.hi < v.right.lo
+
+    def test_sibling_indices(self):
+        tree = build(n=64, d=2, p=8)
+        for v in tree.hat.iter_nodes():
+            if not v.is_hat_leaf:
+                assert v.left.index == 2 * v.index
+                assert v.right.index == 2 * v.index + 1
+
+    def test_paths_unique_and_valid(self):
+        from repro.dist import is_valid_path
+
+        tree = build(n=64, d=3, p=4)
+        paths = [v.path for v in tree.hat.iter_nodes()]
+        assert len(paths) == len(set(paths))
+        assert all(is_valid_path(p) for p in paths)
+
+    def test_dim_d_aggregates_consistent(self):
+        """f(v) of a dimension-d hat node = sum of its children's values."""
+        tree = build(n=64, d=2, p=8)
+        for v in tree.hat.iter_nodes():
+            if v.dim == 1 and not v.is_hat_leaf:
+                assert v.agg == v.left.agg + v.right.agg
+
+    def test_root_aggregate_counts_all_points(self):
+        n = 64
+        tree = build(n=n, d=2, p=8)
+        root = tree.hat.root
+        assert root.descendant is not None
+        assert root.descendant.agg == n  # count over every (padded) point
+
+    def test_forest_leaves_under_root_is_p(self):
+        tree = build(n=64, d=2, p=8)
+        leaves = tree.hat.forest_leaves_under(tree.hat.root)
+        assert len(leaves) == 8
+        # left-to-right segment order
+        los = [l.lo for l in leaves]
+        assert los == sorted(los)
+
+    def test_hat_leaf_location_known(self):
+        tree = build(n=64, d=2, p=8)
+        for v in tree.hat.hat_leaves():
+            assert 0 <= v.location < 8
+
+    def test_p1_hat_is_single_leaf(self):
+        tree = build(n=32, d=2, p=1)
+        assert tree.hat.size_nodes() == 1
+        assert tree.hat.root.is_hat_leaf
+
+    def test_p_equals_n(self):
+        tree = build(n=16, d=2, p=16)
+        leaf_level = 0
+        assert all(v.level >= leaf_level for v in tree.hat.iter_nodes())
+        prim = [v for v in tree.hat.iter_nodes() if v.dim == 0 and v.is_hat_leaf]
+        assert len(prim) == 16
+
+
+class TestHatWalkVsSequential:
+    def test_walk_selections_cover_query_exactly(self):
+        """Hat selections + forest continuations together must equal the
+        sequential canonical decomposition's coverage (checked via counts
+        in the mode tests; here we check the hat pieces are disjoint)."""
+        tree = build(n=64, d=2, p=8, seed=3)
+        box = tree.ranked.to_rank_box(Box([(0.1, 0.9), (0.2, 0.8)]))
+        sels, subqs = tree.hat.walk(0, box, collect_leaves=True)
+        # selected hat nodes must be pairwise disjoint in the last dim
+        seen_paths = set()
+        for s in sels:
+            assert s.path not in seen_paths
+            seen_paths.add(s.path)
+        # subqueries name distinct forest elements
+        fids = [sq.forest_id for sq in subqs]
+        assert len(fids) == len(set(fids))
+
+    def test_empty_box_walks_nowhere(self):
+        tree = build(n=64, d=2, p=8)
+        from repro.geometry import RankBox
+
+        sels, subqs = tree.hat.walk(0, RankBox((5, 0), (4, 63)))
+        assert sels == [] and subqs == []
+
+    def test_full_box_selects_root_descendant(self):
+        tree = build(n=64, d=2, p=8)
+        from repro.geometry import RankBox
+
+        sels, subqs = tree.hat.walk(0, RankBox((0, 0), (63, 63)))
+        # the whole domain: one selection (root of root's descendant), no subqueries
+        assert len(sels) == 1 and subqs == []
+        assert sels[0].nleaves == 64
+
+    def test_charge_callback_invoked(self):
+        tree = build(n=64, d=2, p=8)
+        charges = []
+        box = tree.ranked.to_rank_box(Box([(0.2, 0.7), (0.1, 0.6)]))
+        tree.hat.walk(0, box, charge=charges.append)
+        assert charges and charges[0] > 0

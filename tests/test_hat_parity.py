@@ -1,0 +1,122 @@
+"""Per-query parity between the distributed search and the sequential
+canonical decomposition.
+
+The strongest structural guarantee in the paper: for any query, the
+union of (a) dimension-d hat nodes selected while walking the hat and
+(b) dimension-d nodes selected inside forest elements equals — leaf for
+leaf — the canonical selection of the sequential range tree.  We verify
+the invariants that follow: disjointness, exact coverage, and identical
+total leaf counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dist import DistributedRangeTree
+from repro.seq import SequentialRangeTree
+from repro.workloads import grid_points, uniform_points
+
+from tests.helpers import random_boxes
+
+
+@pytest.fixture(scope="module")
+def setup():
+    pts = uniform_points(128, 2, seed=90)
+    dist = DistributedRangeTree.build(pts, p=8)
+    seq = SequentialRangeTree(pts)
+    rng = np.random.default_rng(91)
+    boxes = random_boxes(rng, 40, 2)
+    return pts, dist, seq, boxes
+
+
+def _distributed_pieces(dist, box):
+    """(hat piece leaf counts, forest piece pid sets) for one query."""
+    out = dist.search([box], collect_leaves=True)
+    hat_pieces = [hs for per in out.hat_selections for hs in per]
+    forest_pieces = [fs for per in out.forest_selections for fs in per]
+    return hat_pieces, forest_pieces
+
+
+class TestSelectionParity:
+    def test_total_leaf_counts_match_sequential(self, setup):
+        pts, dist, seq, boxes = setup
+        for box in boxes:
+            hat_pieces, forest_pieces = _distributed_pieces(dist, box)
+            total = sum(h.nleaves for h in hat_pieces) + sum(
+                f.nleaves for f in forest_pieces
+            )
+            seq_total = sum(s.leaf_count for s in seq.canonical(box))
+            assert total == seq_total
+
+    def test_pieces_are_disjoint(self, setup):
+        pts, dist, seq, boxes = setup
+        for box in boxes[:15]:
+            hat_pieces, forest_pieces = _distributed_pieces(dist, box)
+            pids: list[int] = []
+            for f in forest_pieces:
+                pids.extend(f.pids())
+            # expand hat pieces through their forest elements
+            for h in hat_pieces:
+                for fid, loc in zip(h.forest_ids, h.locations):
+                    pids.extend(dist.forest_store[loc][fid].all_pids())
+            real = [p for p in pids if p >= 0]
+            assert len(real) == len(set(real)), "selection pieces overlap"
+
+    def test_coverage_equals_bruteforce(self, setup):
+        from repro.seq import bf_report
+
+        pts, dist, seq, boxes = setup
+        for box in boxes[:15]:
+            hat_pieces, forest_pieces = _distributed_pieces(dist, box)
+            pids: set[int] = set()
+            for f in forest_pieces:
+                pids.update(f.pids())
+            for h in hat_pieces:
+                for fid, loc in zip(h.forest_ids, h.locations):
+                    pids.update(dist.forest_store[loc][fid].all_pids())
+            assert sorted(p for p in pids if p >= 0) == bf_report(pts, box)
+
+    def test_selection_count_polylog(self, setup):
+        """O(log^d n) pieces per query, distributed or not."""
+        pts, dist, seq, boxes = setup
+        logn = 7  # log2(128)
+        for box in boxes:
+            hat_pieces, forest_pieces = _distributed_pieces(dist, box)
+            assert len(hat_pieces) + len(forest_pieces) <= 4 * (logn + 1) ** 2
+
+    def test_subquery_fanout_bounded(self, setup):
+        """<= 2 forest entries per traversed hat segment tree."""
+        pts, dist, seq, boxes = setup
+        trees_in_hat = dist.hat.segment_tree_count()
+        for box in boxes:
+            out = dist.search([box])
+            assert out.total_subqueries <= 2 * trees_in_hat
+
+
+class TestParityOnDegenerateData:
+    def test_grid_ties(self):
+        pts = grid_points(64, 2, seed=92, cells=4)
+        dist = DistributedRangeTree.build(pts, p=4)
+        seq = SequentialRangeTree(pts)
+        rng = np.random.default_rng(93)
+        for box in random_boxes(rng, 20, 2):
+            out = dist.search([box])
+            total = sum(
+                h.nleaves for per in out.hat_selections for h in per
+            ) + sum(f.nleaves for per in out.forest_selections for f in per)
+            assert total == sum(s.leaf_count for s in seq.canonical(box))
+
+    @pytest.mark.parametrize("d", [1, 3])
+    def test_other_dimensions(self, d):
+        pts = uniform_points(64, d, seed=94 + d)
+        dist = DistributedRangeTree.build(pts, p=4)
+        seq = SequentialRangeTree(pts)
+        rng = np.random.default_rng(95)
+        for box in random_boxes(rng, 10, d):
+            out = dist.search([box])
+            total = sum(
+                h.nleaves for per in out.hat_selections for h in per
+            ) + sum(f.nleaves for per in out.forest_selections for f in per)
+            assert total == sum(s.leaf_count for s in seq.canonical(box))

@@ -1,0 +1,160 @@
+"""Tests for Definition 2 labeling (Figure 2) and Lemma 1."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dist.labeling import (
+    ancestor_index,
+    hat_ancestor_paths,
+    is_valid_path,
+    leaf_index,
+    left_child_index,
+    make_path,
+    parent_index,
+    phase_of_path,
+    phase_of_tree,
+    right_child_index,
+    root_index_of_tree,
+    root_level_of_tree,
+    tree_id_of,
+)
+
+
+class TestFigure2Arithmetic:
+    """The exact index relations illustrated in the paper's Figure 2."""
+
+    def test_children_of_x(self):
+        x = 5
+        assert left_child_index(x) == 2 * x
+        assert right_child_index(x) == 2 * x + 1
+
+    def test_grandchildren_of_x(self):
+        """Figure 2: the four grandchildren of index x are 4x..4x+3."""
+        x = 3
+        kids = [left_child_index(x), right_child_index(x)]
+        grand = []
+        for k in kids:
+            grand.extend([left_child_index(k), right_child_index(k)])
+        assert grand == [4 * x, 4 * x + 1, 4 * x + 2, 4 * x + 3]
+
+    def test_descendant_root_inherits_index(self):
+        """Figure 2: Index(V) = Index(U) = x when V = root of descendant(U)."""
+        u_path = make_path(7, 4, ())
+        assert root_index_of_tree(tree_id_of(make_path(7, 4, u_path))) == 7
+
+    def test_parent_inverts_children(self):
+        for x in range(1, 100):
+            assert parent_index(left_child_index(x)) == x
+            assert parent_index(right_child_index(x)) == x
+
+    @given(st.integers(min_value=1, max_value=10**9), st.integers(min_value=0, max_value=20))
+    def test_ancestor_index_composition(self, x: int, k: int):
+        y = x
+        for _ in range(k):
+            y = parent_index(y)
+        assert ancestor_index(x, k) == y
+
+
+class TestLeafIndex:
+    def test_positions_enumerate_level(self):
+        # root index 1, root level 3, leaf level 1 -> 4 nodes: 4,5,6,7
+        got = [leaf_index(1, 3, 1, m) for m in range(4)]
+        assert got == [4, 5, 6, 7]
+
+    def test_inherited_root_index(self):
+        # a descendant tree rooted at index 6, height 2, leaves at level 0
+        got = [leaf_index(6, 2, 0, m) for m in range(4)]
+        assert got == [24, 25, 26, 27]
+
+    def test_bad_position_rejected(self):
+        with pytest.raises(ValueError):
+            leaf_index(1, 2, 0, 4)
+
+    def test_bad_levels_rejected(self):
+        with pytest.raises(ValueError):
+            leaf_index(1, 1, 2, 0)
+
+    def test_leaf_index_consistent_with_child_arithmetic(self):
+        """Descending left/right from the root must enumerate the level."""
+        root, root_level, leaf_level = 1, 4, 2
+        for m in range(1 << (root_level - leaf_level)):
+            idx = root
+            for bit in format(m, f"0{root_level - leaf_level}b"):
+                idx = right_child_index(idx) if bit == "1" else left_child_index(idx)
+            assert idx == leaf_index(root, root_level, leaf_level, m)
+
+
+class TestPaths:
+    def test_t1_paths_are_singletons(self):
+        p = make_path(5, 2, ())
+        assert p == ((5, 2),)
+        assert tree_id_of(p) == ()
+        assert phase_of_path(p) == 0
+
+    def test_nested_path(self):
+        u = make_path(3, 4, ())
+        v = make_path(12, 2, u)
+        assert v == ((12, 2), (3, 4))
+        assert tree_id_of(v) == u
+        assert phase_of_path(v) == 1
+        assert phase_of_tree(tree_id_of(v)) == 1
+
+    def test_phase_of_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            phase_of_path(())
+
+    def test_root_level_of_tree(self):
+        assert root_level_of_tree((), primary_height=10) == 10
+        u = make_path(3, 4, ())
+        assert root_level_of_tree(u, primary_height=10) == 4
+
+    def test_lemma1_distinct_trees_have_distinct_ids(self):
+        """Lemma 1: path(ancestor) uniquely identifies the segment tree."""
+        ids = set()
+        for idx in range(1, 16):
+            for lvl in range(0, 4):
+                ids.add(make_path(idx, lvl, ()))
+        assert len(ids) == 15 * 4  # all distinct
+
+
+class TestHatAncestorPaths:
+    def test_walk_to_root(self):
+        # leaf index 12, leaf level 1, root level 3, in T1
+        paths = list(hat_ancestor_paths(12, 1, 3, ()))
+        assert paths == [((6, 2), ()) if False else ((6, 2),), ((3, 3),)]
+
+    def test_leaf_at_root_level_yields_nothing(self):
+        assert list(hat_ancestor_paths(1, 3, 3, ())) == []
+
+    def test_count_is_height_difference(self):
+        assert len(list(hat_ancestor_paths(40, 2, 5, ()))) == 3
+
+    def test_nested_tree_ids_carried(self):
+        tid = make_path(9, 5, ())
+        paths = list(hat_ancestor_paths(leaf_index(9, 5, 3, 2), 3, 5, tid))
+        assert all(p[1:] == tid for p in paths)
+        assert [p[0][1] for p in paths] == [4, 5]
+
+
+class TestPathValidation:
+    def test_valid_paths(self):
+        assert is_valid_path(((1, 3),))
+        u = make_path(3, 4, ())
+        assert is_valid_path(make_path(12, 2, u))
+
+    def test_level_must_not_increase(self):
+        assert not is_valid_path(((3, 5), (3, 4)))
+
+    def test_index_must_lie_under_root(self):
+        # node index 99 cannot live in a tree rooted at index 3 level 4 if
+        # its ancestor arithmetic doesn't reach 3
+        assert not is_valid_path(((99, 2), (3, 4)))
+
+    def test_empty_invalid(self):
+        assert not is_valid_path(())
+
+    def test_nonpositive_index_invalid(self):
+        assert not is_valid_path(((0, 1),))

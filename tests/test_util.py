@@ -1,0 +1,90 @@
+"""Tests for internal utilities (repro._util)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util import (
+    chunks,
+    ilog2,
+    is_power_of_two,
+    next_power_of_two,
+    pairwise_disjoint,
+    require_power_of_two,
+)
+from repro.errors import PowerOfTwoError
+
+
+class TestPowerOfTwo:
+    def test_is_power_of_two_basic(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(2)
+        assert is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-4)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(6)
+
+    @given(st.integers(min_value=0, max_value=40))
+    def test_powers_recognised(self, k: int):
+        assert is_power_of_two(1 << k)
+
+    @given(st.integers(min_value=2, max_value=1 << 20))
+    def test_next_power_of_two_bounds(self, x: int):
+        np2 = next_power_of_two(x)
+        assert is_power_of_two(np2)
+        assert np2 >= x
+        assert np2 // 2 < x
+
+    def test_next_power_of_two_small(self):
+        assert next_power_of_two(0) == 1
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(2) == 2
+        assert next_power_of_two(3) == 4
+
+    @given(st.integers(min_value=0, max_value=40))
+    def test_ilog2_roundtrip(self, k: int):
+        assert ilog2(1 << k) == k
+
+    def test_ilog2_rejects_non_powers(self):
+        with pytest.raises(PowerOfTwoError):
+            ilog2(3)
+        with pytest.raises(PowerOfTwoError):
+            ilog2(0)
+
+    def test_require_power_of_two_message(self):
+        with pytest.raises(PowerOfTwoError, match="processor count"):
+            require_power_of_two("processor count", 3)
+        assert require_power_of_two("n", 8) == 8
+
+
+class TestChunks:
+    def test_even_split(self):
+        assert [list(c) for c in chunks([1, 2, 3, 4], 2)] == [[1, 2], [3, 4]]
+
+    def test_ragged_tail(self):
+        assert [list(c) for c in chunks([1, 2, 3, 4, 5], 2)] == [[1, 2], [3, 4], [5]]
+
+    def test_empty(self):
+        assert list(chunks([], 3)) == []
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            list(chunks([1], 0))
+
+    @given(st.lists(st.integers(), max_size=50), st.integers(min_value=1, max_value=10))
+    def test_concat_roundtrip(self, xs: list[int], size: int):
+        assert [x for c in chunks(xs, size) for x in c] == xs
+
+
+class TestPairwiseDisjoint:
+    def test_disjoint(self):
+        assert pairwise_disjoint([[1, 2], [3], [4, 5]])
+
+    def test_overlap(self):
+        assert not pairwise_disjoint([[1, 2], [2, 3]])
+
+    def test_empty_collections(self):
+        assert pairwise_disjoint([[], [], []])

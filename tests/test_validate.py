@@ -1,0 +1,87 @@
+"""Tests for the structural validator (repro.dist.validate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dist import DistributedRangeTree, validate_tree
+from repro.semigroup import sum_of_dim
+from repro.workloads import clustered_points, grid_points, uniform_points
+
+
+class TestValidatorPasses:
+    @pytest.mark.parametrize(
+        "n,d,p",
+        [(32, 1, 4), (64, 2, 8), (48, 3, 4), (32, 2, 1), (16, 2, 16), (64, 2, 2)],
+    )
+    def test_fresh_builds_validate(self, n, d, p):
+        tree = DistributedRangeTree.build(uniform_points(n, d, seed=n + d + p), p=p)
+        rep = validate_tree(tree)
+        assert rep.ok, rep.summary()
+        assert rep.checks_run > 0
+
+    def test_float_semigroup_validates(self):
+        tree = DistributedRangeTree.build(
+            uniform_points(64, 2, seed=60), p=4, semigroup=sum_of_dim(0)
+        )
+        assert validate_tree(tree).ok
+
+    def test_degenerate_data_validates(self):
+        for pts in (grid_points(50, 2, seed=61, cells=3), clustered_points(50, 2, seed=62)):
+            tree = DistributedRangeTree.build(pts, p=4)
+            assert validate_tree(tree).ok
+
+    def test_validates_after_reannotation(self):
+        tree = DistributedRangeTree.build(uniform_points(64, 2, seed=63), p=4)
+        tree.reannotate(sum_of_dim(1))
+        assert validate_tree(tree).ok
+
+    def test_validates_after_queries(self):
+        from repro.workloads import selectivity_queries
+
+        tree = DistributedRangeTree.build(uniform_points(64, 2, seed=64), p=8)
+        tree.batch_report(selectivity_queries(32, 2, seed=65, selectivity=0.1))
+        assert validate_tree(tree).ok, "queries must not mutate the structure"
+
+
+class TestValidatorCatchesCorruption:
+    def _tree(self):
+        return DistributedRangeTree.build(uniform_points(64, 2, seed=66), p=4)
+
+    def test_detects_bad_aggregate(self):
+        tree = self._tree()
+        for v in tree.hat.iter_nodes():
+            if v.dim == 1 and not v.is_hat_leaf:
+                v.agg = v.agg + 1  # corrupt one f(v)
+                break
+        rep = validate_tree(tree)
+        assert not rep.ok
+        assert any("aggregate" in f for f in rep.failures)
+
+    def test_detects_bad_location(self):
+        tree = self._tree()
+        store = tree.forest_store[0]
+        el = next(iter(store.values()))
+        el.location = 3  # lie about ownership
+        rep = validate_tree(tree)
+        assert not rep.ok
+
+    def test_detects_bad_index_arithmetic(self):
+        tree = self._tree()
+        root = tree.hat.root
+        root.left.index += 1
+        rep = validate_tree(tree)
+        assert not rep.ok
+        assert any("sibling" in f or "path" in f for f in rep.failures)
+
+    def test_detects_missing_forest_element(self):
+        tree = self._tree()
+        store = tree.forest_store[1]
+        store.pop(next(iter(store)))
+        rep = validate_tree(tree)
+        assert not rep.ok
+
+    def test_summary_truncates(self):
+        rep = validate_tree(self._tree())
+        text = rep.summary()
+        assert text.startswith("validation: OK")

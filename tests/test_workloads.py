@@ -1,0 +1,110 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import Box
+from repro.workloads import (
+    POINT_DISTRIBUTIONS,
+    QUERY_WORKLOADS,
+    clustered_points,
+    diagonal_points,
+    grid_points,
+    hotspot_queries,
+    make_points,
+    make_queries,
+    point_centred_queries,
+    selectivity_queries,
+    uniform_points,
+)
+
+
+class TestPointGenerators:
+    @pytest.mark.parametrize("name", sorted(POINT_DISTRIBUTIONS))
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_shapes(self, name, d):
+        ps = make_points(name, 50, d, seed=1)
+        assert ps.n == 50
+        assert ps.dim == d
+
+    @pytest.mark.parametrize("name", sorted(POINT_DISTRIBUTIONS))
+    def test_deterministic_given_seed(self, name):
+        a = make_points(name, 30, 2, seed=7)
+        b = make_points(name, 30, 2, seed=7)
+        assert np.array_equal(a.coords, b.coords)
+
+    @pytest.mark.parametrize("name", sorted(POINT_DISTRIBUTIONS))
+    def test_different_seeds_differ(self, name):
+        a = make_points(name, 30, 2, seed=1)
+        b = make_points(name, 30, 2, seed=2)
+        assert not np.array_equal(a.coords, b.coords)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            make_points("zipf", 10, 2)
+
+    def test_uniform_in_range(self):
+        ps = uniform_points(100, 2, seed=3, lo=2.0, hi=5.0)
+        assert ps.coords.min() >= 2.0 and ps.coords.max() <= 5.0
+
+    def test_grid_has_ties(self):
+        ps = grid_points(100, 2, seed=4, cells=4)
+        col = ps.column(0)
+        assert len(np.unique(col)) <= 4
+
+    def test_diagonal_is_correlated(self):
+        ps = diagonal_points(200, 2, seed=5, noise=0.001)
+        corr = np.corrcoef(ps.column(0), ps.column(1))[0, 1]
+        assert corr > 0.99
+
+    def test_clusters_are_tight(self):
+        ps = clustered_points(300, 2, seed=6, clusters=1, spread=0.01)
+        assert ps.coords.std(axis=0).max() < 0.05
+
+
+class TestQueryGenerators:
+    @pytest.mark.parametrize("name", sorted(QUERY_WORKLOADS))
+    def test_shapes(self, name):
+        qs = make_queries(name, 20, 3, seed=1)
+        assert len(qs) == 20
+        assert all(isinstance(q, Box) and q.dim == 3 for q in qs)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown query workload"):
+            make_queries("sweep", 10, 2)
+
+    def test_selectivity_validation(self):
+        with pytest.raises(ValueError):
+            selectivity_queries(5, 2, selectivity=0.0)
+        with pytest.raises(ValueError):
+            selectivity_queries(5, 2, selectivity=1.5)
+
+    def test_selectivity_roughly_calibrated(self):
+        """On uniform data a selectivity-s query matches ~s·n points."""
+        pts = uniform_points(2000, 2, seed=10)
+        qs = selectivity_queries(200, 2, seed=11, selectivity=0.05)
+        from repro.seq import bf_count
+
+        counts = [bf_count(pts, q) for q in qs]
+        mean = sum(counts) / len(counts)
+        assert 0.4 * 100 <= mean <= 1.6 * 100  # 5% of 2000 = 100, wide net
+
+    def test_hotspot_queries_overlap_heavily(self):
+        qs = hotspot_queries(10, 2, seed=12, centre=0.5, half_width=0.05, jitter=0.001)
+        # all centres within a whisker of each other
+        centres = [(q.lo[0] + q.hi[0]) / 2 for q in qs]
+        assert max(centres) - min(centres) < 0.01
+
+    def test_point_centred_queries_nonempty_on_data(self):
+        pts = clustered_points(100, 2, seed=13)
+        qs = point_centred_queries(pts, 20, seed=14, half_width=0.05)
+        from repro.seq import bf_count
+
+        assert all(bf_count(pts, q) >= 1 for q in qs)
+
+    def test_deterministic(self):
+        a = make_queries("uniform", 15, 2, seed=9)
+        b = make_queries("uniform", 15, 2, seed=9)
+        assert all(x == y for x, y in zip(a, b))
