@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""CI smoke gate: import every ``repro.*`` module and exercise the CLI.
+
+Usage::
+
+    python scripts/smoke.py
+
+Exit code 0 means the package is importable end-to-end and the CLI
+answers ``--help``.  This is the cheap gate that would have caught the
+seed's fatal regression (``repro/__init__.py`` exporting a module that
+did not exist); the same checks run under pytest via
+``tests/test_smoke_imports.py``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import pkgutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_DIR = REPO_ROOT / "src"
+
+
+def main() -> int:
+    sys.path.insert(0, str(SRC_DIR))
+    import repro
+
+    names = ["repro"]
+    for mod in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(mod.name)
+
+    failures = []
+    for name in sorted(set(names)):
+        try:
+            mod = importlib.import_module(name)
+            for public in getattr(mod, "__all__", []):
+                if not hasattr(mod, public):
+                    failures.append(f"{name}: __all__ names missing {public!r}")
+        except Exception as exc:  # noqa: BLE001 - report every import failure
+            failures.append(f"{name}: {type(exc).__name__}: {exc}")
+    print(f"imported {len(names)} modules, {len(failures)} failures")
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    if proc.returncode != 0:
+        failures.append(f"python -m repro --help exited {proc.returncode}: {proc.stderr}")
+    else:
+        print("python -m repro --help: OK")
+
+    for line in failures:
+        print(f"FAIL: {line}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,4 +1,4 @@
-"""The paper's standard communication operations (Section 1, "The Model").
+"""The paper's standard communication operations (§1, *The Model*).
 
     "all global communications are performed by a small set of standard
     communications operations: Segmented broadcast, Segmented gather,

@@ -1,4 +1,4 @@
-"""BSP/CGM cost model.
+"""BSP/CGM cost model (§1-§2, the optimality criterion).
 
 The paper's optimality criterion: running time = sequential time divided by
 ``p`` plus a *constant number* of communication rounds, each an

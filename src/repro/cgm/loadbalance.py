@@ -1,6 +1,6 @@
-"""Weighted load balancing (the technique the paper imports from [12]).
+"""Weighted load balancing (§5; the technique the paper imports from [12]).
 
-Two ingredients used by Algorithms Search and Report:
+Two ingredients used by Algorithms Search and Report (§5, Theorems 3-5):
 
 * :func:`balance_by_weight` — redistribute weighted items so every
   processor carries ≈ ``ΣW/p`` total weight, via the paper's prefix-sum
@@ -114,6 +114,7 @@ def replicate_groups(
     weight: Callable[[Any], int],
     strategy: str = "doubling",
     label: str = "replicate",
+    fixed_rounds: int | None = None,
 ) -> list[dict[int, Any]]:
     """Distribute copies of per-owner payloads to their target ranks.
 
@@ -133,6 +134,16 @@ def replicate_groups(
         ``ceil(log2(max c_j))`` rounds.  For the uniform demand of
         Theorems 3-5 this is the same constant; the hot-spot benchmark
         (M1) shows the trade-off explicitly.
+
+    ``fixed_rounds`` (doubling only) pins the round count: exactly that
+    many doubling rounds always run, padded with empty exchanges once
+    converged, so the trace is a function of the parameters alone —
+    Algorithm Search uses ``log2 p`` (always sufficient, since
+    ``c_j <= p``) to keep Theorem 3's round count independent of the
+    data.  In this mode each holder serves one pending target *per
+    owned group* per round (a rank holding copies of two hot groups
+    forwards both), which is what guarantees convergence within
+    ``log2 p`` rounds; per-round h stays ``O(copies held · |payload|)``.
     """
     p = mach.p
     holders: list[dict[int, Any]] = [dict() for _ in range(p)]
@@ -161,8 +172,35 @@ def replicate_groups(
     if strategy != "doubling":
         raise ValueError(f"unknown replication strategy {strategy!r}")
 
-    # doubling: every current holder serves one pending target per round
     have: list[list[int]] = [[j] if payloads[j] is not None else [] for j in range(p)]
+
+    if fixed_rounds is not None:
+        # data-independent round count: per-owner doubling, padded.
+        for rnd in range(fixed_rounds):
+            out = mach.empty_outboxes()
+            for j in range(p):
+                queue = pending[j]
+                served = 0
+                for h in have[j]:
+                    if served >= len(queue):
+                        break
+                    out[h][queue[served]].append((j, payloads[j]))
+                    served += 1
+                pending[j] = queue[served:]
+            inboxes = mach.exchange_weighted(
+                f"{label}:double-{rnd}", out, weight=lambda rec: max(1, weight(rec[1]))
+            )
+            for r in range(p):
+                for owner, payload in inboxes[r]:
+                    holders[r][owner] = payload
+                    have[owner].append(r)
+        if any(pending):
+            raise RuntimeError(
+                f"replicate_groups failed to converge in {fixed_rounds} rounds"
+            )
+        return holders
+
+    # doubling: every current holder serves one pending target per round
     rnd = 0
     while any(pending):
         out = mach.empty_outboxes()

@@ -1,8 +1,8 @@
-"""The Coarse Grained Multicomputer ``CGM(s, p)`` simulator.
+"""The Coarse Grained Multicomputer ``CGM(s, p)`` simulator (§1, *The Model*).
 
 A :class:`Machine` is ``p`` virtual processors executing alternating
 *local computation* phases and *global communication* rounds (the paper's
-supersteps).  Algorithms are written in a driver style::
+supersteps — the weak-CREW BSP variant of §1).  Algorithms are written in a driver style::
 
     mach = Machine(p=8)
     results = mach.compute("build", lambda ctx: build_local(state[ctx.rank], ctx))
@@ -11,8 +11,8 @@ supersteps).  Algorithms are written in a driver style::
 Every phase is recorded in :attr:`Machine.metrics` — operation counts and
 wall-clock per processor for compute phases, per-processor sent/received
 record counts (the h-relation) for communication rounds.  The paper's
-claims ("O(1) rounds of h-relations with h = s/p", "O(s/p) local work")
-are *measured*, not assumed.
+claims ("O(1) rounds of h-relations with h = s/p", "O(s/p) local work" —
+§5, Theorems 2-5) are *measured*, not assumed.
 
 Determinism: records within an inbox arrive ordered by source rank and by
 send order within a source, regardless of backend.

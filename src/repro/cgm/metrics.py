@@ -1,4 +1,4 @@
-"""Superstep metrics: the observable the paper's theorems talk about.
+"""Superstep metrics: the observables the paper's theorems talk about (§5).
 
 Every compute phase and every communication round executed on a
 :class:`~repro.cgm.machine.Machine` appends a :class:`StepRecord`.  The

@@ -1,9 +1,9 @@
-"""Deterministic CGM sample sort — the paper's black-box parallel sort.
+"""Deterministic CGM sample sort — the paper's black-box parallel sort (§1).
 
-The paper uses parallel sort as its communication workhorse (Goodrich's
-communication-efficient sort achieves O(1) h-relations for ``n/p >= p``);
-Algorithm Construct sorts record sets, and the search/report algorithms
-sort query-result pairs.  This implementation is the classic
+The paper uses parallel sort as its communication workhorse (§1 cites
+Goodrich's communication-efficient sort, which achieves O(1) h-relations
+for ``n/p >= p``); Algorithm Construct (§5) sorts record sets, and the
+search/report algorithms (§5, Theorems 3-5) sort query-result pairs.  This implementation is the classic
 sample/regular-sampling sort:
 
 1. local sort,

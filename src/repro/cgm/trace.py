@@ -1,7 +1,8 @@
 """Human-readable rendering of a machine's superstep trace.
 
 ``render_trace(machine.metrics)`` produces the execution timeline the
-paper's analysis reasons about: alternating local-computation phases and
+paper's analysis reasons about (§1's alternation of supersteps):
+alternating local-computation phases and
 h-relation rounds, with per-step work/volume columns.  Used by the CLI's
 ``query --trace`` flag and handy when debugging new distributed algorithms.
 """

@@ -1,0 +1,304 @@
+"""The distributed d-dimensional range tree (Ferreira, Kenyon,
+Rau-Chaplin & Ubeda, IPPS 1997).
+
+This package is the paper's contribution: a CGM(s, p) range tree split
+into a replicated **hat** (the top ``O(p log^{d-1} p)`` nodes of every
+segment tree — §4, Definition 3, :mod:`repro.dist.hat`) and a
+distributed **forest** of ``n/p``-point range trees (Theorem 1,
+:mod:`repro.dist.forest`), built in O(1) communication rounds per
+dimension (Theorem 2, :mod:`repro.dist.construct`) and queried in
+batches of ``m = O(n)`` with O(1) rounds per batch (Theorems 3-5,
+:mod:`repro.dist.search` and :mod:`repro.dist.modes`).
+
+:class:`DistributedRangeTree` is the user-facing facade tying the layers
+together::
+
+    from repro import Box, DistributedRangeTree
+    from repro.workloads import uniform_points, selectivity_queries
+
+    tree = DistributedRangeTree.build(uniform_points(2048, 2, seed=0), p=8)
+    counts = tree.batch_count(selectivity_queries(512, 2, seed=1))
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from .._util import require_power_of_two
+from ..cgm.collectives import alltoall_broadcast
+from ..cgm.cost import CostModel
+from ..cgm.machine import Machine
+from ..geometry.box import Box
+from ..geometry.point import PointSet
+from ..geometry.rankspace import RankedPointSet, pad_to_power_of_two
+from ..semigroup import COUNT, Semigroup
+from .construct import ConstructResult, construct_distributed_tree
+from .forest import ForestElement, build_forest_element
+from .hat import Hat, HatNode
+from .labeling import is_valid_path
+from .modes import batched_counts, batched_report_pairs, fold_by_query
+from .records import ForestRootInfo, HatSelectionRecord, SRecord, Subquery
+from .search import SearchOutput, run_search
+from .validate import ValidationReport, validate_tree
+
+__all__ = [
+    "DistributedRangeTree",
+    "ConstructResult",
+    "construct_distributed_tree",
+    "ForestElement",
+    "build_forest_element",
+    "Hat",
+    "HatNode",
+    "SearchOutput",
+    "run_search",
+    "fold_by_query",
+    "batched_counts",
+    "batched_report_pairs",
+    "ForestRootInfo",
+    "HatSelectionRecord",
+    "SRecord",
+    "Subquery",
+    "ValidationReport",
+    "validate_tree",
+    "is_valid_path",
+]
+
+
+class DistributedRangeTree:
+    """Facade over the distributed range tree's full life cycle.
+
+    Build with :meth:`build`; query with :meth:`batch_count`,
+    :meth:`batch_report`, :meth:`batch_aggregate` (or their single-query
+    twins); change the aggregate function in place with
+    :meth:`reannotate`; inspect the machine's superstep trace through
+    :attr:`metrics`.  All communication happens on the attached
+    :class:`~repro.cgm.machine.Machine`, so every theorem-level claim
+    (rounds, h-relations, per-processor work) is measurable.
+    """
+
+    def __init__(
+        self,
+        points: PointSet,
+        ranked: RankedPointSet,
+        machine: Machine,
+        semigroup: Semigroup,
+        construct_result: ConstructResult,
+    ) -> None:
+        self.points = points
+        self.ranked = ranked
+        self.machine = machine
+        self.semigroup = semigroup
+        self.construct_result = construct_result
+        self.hat = construct_result.hat
+        self.forest_store = construct_result.forest_store
+
+    # ------------------------------------------------------------------
+    # construction (Algorithm Construct, Theorem 2)
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        points: PointSet,
+        p: int | None = None,
+        machine: Machine | None = None,
+        backend: str = "serial",
+        semigroup: Semigroup = COUNT,
+        cost: CostModel | None = None,
+        capacity: int | None = None,
+    ) -> "DistributedRangeTree":
+        """Build the tree over ``points`` on ``p`` virtual processors.
+
+        Pass an existing ``machine`` to reuse it (its ``p`` wins); both
+        paths require a power-of-two processor count.  Points are
+        rank-normalised and padded so that ``n`` is a power of two and
+        ``n >= p`` (§3's "without loss of generality" assumptions).
+        """
+        if machine is None:
+            if p is None:
+                p = 4
+            require_power_of_two("processor count p", p)
+            machine = Machine(p, backend=backend, cost=cost, capacity=capacity)
+        else:
+            p = machine.p
+            require_power_of_two("processor count p", p)
+        ranked = pad_to_power_of_two(points, minimum=p)
+        values = cls._lift_values(ranked, points, semigroup)
+        result = construct_distributed_tree(machine, ranked, values, semigroup)
+        return cls(points, ranked, machine, semigroup, result)
+
+    @staticmethod
+    def _lift_values(
+        ranked: RankedPointSet, points: PointSet, semigroup: Semigroup
+    ) -> List[Any]:
+        values: List[Any] = []
+        for i in range(ranked.n):
+            if i < ranked.n_real:
+                values.append(semigroup.lift(points.point_id(i), points.coords[i]))
+            else:
+                values.append(semigroup.identity)
+        return values
+
+    # ------------------------------------------------------------------
+    # basic shape
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Padded point count (the structural ``n = 2^k``)."""
+        return self.ranked.n
+
+    @property
+    def dim(self) -> int:
+        return self.ranked.dim
+
+    @property
+    def p(self) -> int:
+        return self.machine.p
+
+    @property
+    def metrics(self):
+        """The machine's superstep trace (rounds, h-relations, work)."""
+        return self.machine.metrics
+
+    def reset_metrics(self) -> None:
+        self.machine.reset_metrics()
+
+    def space_report(self) -> dict:
+        """Where the structure's records live (Theorem 1 observables)."""
+        return {
+            "n": self.n,
+            "d": self.dim,
+            "p": self.p,
+            "hat_nodes": self.hat.size_nodes(),
+            "hat_leaf_level": self.hat.leaf_level,
+            "forest_group_sizes": self.construct_result.forest_group_sizes(),
+            "forest_elements_per_proc": [
+                len(store) for store in self.forest_store
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # Algorithm Search + output modes (Theorems 3-5)
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        boxes: Sequence[Box],
+        collect_leaves: bool = False,
+        replication: str = "doubling",
+    ) -> SearchOutput:
+        """Run Algorithm Search for a batch of real-coordinate boxes."""
+        rank_boxes = [self.ranked.to_rank_box(b) for b in boxes]
+        return run_search(
+            self.machine,
+            self.hat,
+            self.forest_store,
+            rank_boxes,
+            collect_leaves=collect_leaves,
+            replication=replication,
+        )
+
+    def batch_count(
+        self, boxes: Sequence[Box], replication: str = "doubling"
+    ) -> List[int]:
+        """Counting mode: matching-point counts, one per query."""
+        out = self.search(boxes, replication=replication)
+        folded = batched_counts(self.machine, out)
+        results = [0] * len(boxes)
+        for per_proc in folded:
+            for qid, value in per_proc:
+                results[qid] = value
+        return results
+
+    def batch_report(
+        self, boxes: Sequence[Box], replication: str = "doubling"
+    ) -> List[List[int]]:
+        """Report mode: sorted matching point ids, one list per query."""
+        out = self.search(boxes, collect_leaves=True, replication=replication)
+        pairs = batched_report_pairs(self.machine, out)
+        results: List[List[int]] = [[] for _ in boxes]
+        for per_proc in pairs:
+            for qid, pid in per_proc:
+                results[qid].append(pid)
+        for ids in results:
+            ids.sort()
+        return results
+
+    def batch_aggregate(
+        self, boxes: Sequence[Box], replication: str = "doubling"
+    ) -> List[Any]:
+        """Associative-function mode: ``⊕ f(point)`` per query."""
+        out = self.search(boxes, replication=replication)
+        folded = fold_by_query(
+            self.machine,
+            out,
+            hat_value=lambda h: h.agg,
+            forest_value=lambda f: f.agg,
+            op=self.semigroup.combine,
+            zero=self.semigroup.identity,
+            label="aggregate",
+        )
+        results: List[Any] = [self.semigroup.identity] * len(boxes)
+        for per_proc in folded:
+            for qid, value in per_proc:
+                results[qid] = value
+        return results
+
+    # Single-query conveniences (§6 discusses the single-query regime).
+    def query_count(self, box: Box) -> int:
+        return self.batch_count([box])[0]
+
+    def query_report(self, box: Box) -> List[int]:
+        return self.batch_report([box])[0]
+
+    def query_aggregate(self, box: Box) -> Any:
+        return self.batch_aggregate([box])[0]
+
+    # ------------------------------------------------------------------
+    # re-annotation (Algorithm AssociativeFunction step 1)
+    # ------------------------------------------------------------------
+    def reannotate(self, semigroup: Semigroup) -> None:
+        """Swap the aggregate function ``f`` without rebuilding topology.
+
+        Refits every forest element's aggregates locally, then refreshes
+        the hat with a single broadcast round (``reannotate:roots``) —
+        no sorting, no routing, O(s/p) local work.
+        """
+        self.semigroup = semigroup
+        values_by_pid: dict[int, Any] = {}
+        for i in range(self.ranked.n):
+            pid = int(self.ranked.ids[i])
+            if i < self.ranked.n_real:
+                values_by_pid[pid] = semigroup.lift(
+                    self.points.point_id(i), self.points.coords[i]
+                )
+            else:
+                values_by_pid[pid] = semigroup.identity
+
+        def relabel(ctx):
+            r = ctx.rank
+            infos = []
+            for el in self.forest_store[r].values():
+                el.reannotate([values_by_pid[pid] for pid in el.pids], semigroup)
+                infos.append(el.root_info())
+                ctx.charge(el.size_records)
+            return infos
+
+        roots_local = self.machine.compute("reannotate:relabel", relabel)
+        gathered = alltoall_broadcast(
+            self.machine, roots_local, label="reannotate:roots"
+        )
+
+        def refresh(ctx):
+            # The hat object is shared across virtual processors in the
+            # simulation; rank 0 refreshes it once to stay race-free
+            # under the thread backend.
+            if ctx.rank == 0:
+                self.hat.refresh_aggregates(gathered[0], semigroup)
+                ctx.charge(self.hat.size_nodes())
+
+        self.machine.compute("reannotate:refresh-hat", refresh)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DistributedRangeTree(n={self.n}, d={self.dim}, p={self.p}, "
+            f"semigroup={self.semigroup.name})"
+        )

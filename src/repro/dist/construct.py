@@ -1,0 +1,250 @@
+"""Algorithm Construct: building the distributed tree in O(1) rounds (§5).
+
+Theorem 2 / Corollary 1: a CGM(s, p) machine builds the d-dimensional
+distributed range tree with ``O(s/p)`` memory and local work per
+processor and a *constant* number of communication rounds per dimension.
+The implementation follows the paper's record flow:
+
+phase ``j`` (one per dimension, ``j = 0 .. d-1``)
+    1. **Sort** the phase's :class:`~repro.dist.records.SRecord` set by
+       ``(tree_id, rank_j)`` — the black-box CGM sample sort (4 rounds).
+       Per the §6 caveat, phase ``j`` sorts ``n·log^{j-1} p`` records,
+       not ``n``; :attr:`ConstructResult.phase_record_counts` measures it.
+    2. **Name** every record's position: a segmented scan gives its rank
+       inside its segment tree, a prefix count its global position
+       (2 rounds).  Tree sizes are multiples of ``n/p``, so consecutive
+       runs of ``n/p`` records are exactly the hat-leaf groups of
+       Definition 3, and pure arithmetic (:mod:`repro.dist.labeling`)
+       yields each group's forest id and its owner ``group_rank mod p``.
+    3. **Route** each group to its owner (1 round) and build the forest
+       element locally — a ``(d-j)``-dimensional sequential range tree on
+       ``n/p`` points.  Each record also fans out one new ``SRecord`` per
+       internal hat ancestor of its group's leaf: the input of phase
+       ``j+1`` (the descendant trees those ancestors anchor).
+
+finale
+    5. **Broadcast** every element's :class:`ForestRootInfo` (1 round);
+       every processor then rebuilds the identical hat locally
+       (:meth:`repro.dist.hat.Hat.build`) with zero further rounds.
+
+The round count is ``7d + 1`` — fixed by ``d`` alone, never by ``n``,
+which is exactly what the Corollary 1 tests measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+from .._util import ilog2, require_power_of_two
+from ..cgm.collectives import (
+    alltoall_broadcast,
+    global_positions,
+    route,
+    segmented_partial_sum,
+)
+from ..cgm.machine import Machine
+from ..cgm.sort import sample_sort
+from ..errors import MachineError
+from ..geometry.rankspace import RankedPointSet
+from ..semigroup import Semigroup
+from .forest import ForestElement, build_forest_element
+from .hat import Hat
+from .labeling import (
+    hat_ancestor_paths,
+    leaf_index,
+    make_path,
+    root_index_of_tree,
+    root_level_of_tree,
+)
+from .records import ForestRootInfo, SRecord
+
+__all__ = ["ConstructResult", "construct_distributed_tree"]
+
+
+@dataclass
+class ConstructResult:
+    """Everything Algorithm Construct leaves behind.
+
+    ``forest_store[r]`` maps forest ids to the elements processor ``r``
+    owns (its group ``F_r`` of Theorem 1); ``roots`` is the broadcast
+    root set every processor saw; ``phase_record_counts[j]`` the number
+    of records phase ``j`` sorted (the §6 caveat's measurement).
+    """
+
+    hat: Hat
+    forest_store: List[dict]
+    roots: List[ForestRootInfo]
+    phase_record_counts: List[int]
+    p: int = field(default=1)
+
+    def forest_group_sizes(self) -> List[int]:
+        """Points held per processor's forest group (Theorem 1(ii) balance)."""
+        return [
+            sum(el.nleaves for el in store.values()) for store in self.forest_store
+        ]
+
+
+def construct_distributed_tree(
+    mach: Machine,
+    ranked: RankedPointSet,
+    values: Sequence[Any],
+    semigroup: Semigroup,
+) -> ConstructResult:
+    """Run Algorithm Construct on ``mach`` (§5, Theorem 2).
+
+    ``ranked`` must be power-of-two padded with ``n >= p``;``values`` are
+    the lifted semigroup values aligned with its rows (identity for
+    sentinels).  Raises :class:`~repro.errors.MachineError` when ``p``
+    exceeds the padded point count and
+    :class:`~repro.errors.PowerOfTwoError` for a non-power-of-two ``p``.
+    """
+    p = mach.p
+    require_power_of_two("processor count p", p)
+    n = ranked.n
+    require_power_of_two("padded point count n", n)
+    if p > n:
+        raise MachineError(
+            f"p={p} processors exceed the padded point count n={n}; "
+            "pad with minimum=p (see pad_to_power_of_two)"
+        )
+    if len(values) != n:
+        raise MachineError(f"need one lifted value per row ({n}), got {len(values)}")
+
+    d = ranked.dim
+    logn = ilog2(n)
+    leaf_level = logn - ilog2(p)  # the Definition 3 cut
+    k = n // p  # records per forest group
+    ranks_arr = ranked.ranks
+    ids_arr = ranked.ids
+
+    # Initial distribution: block of n/p point records per processor (the
+    # CGM input convention; a local-computation step, no round).
+    initial: List[List[SRecord]] = [[] for _ in range(p)]
+
+    def scatter(ctx) -> None:
+        r = ctx.rank
+        for i in range(r * k, (r + 1) * k):
+            initial[r].append(
+                SRecord(
+                    tree_id=(),
+                    ranks=tuple(int(x) for x in ranks_arr[i]),
+                    pid=int(ids_arr[i]),
+                    value=values[i],
+                )
+            )
+        ctx.charge(k)
+
+    mach.compute("construct:scatter-points", scatter)
+
+    store: List[dict] = [dict() for _ in range(p)]
+    stored_records = [0] * p
+    roots_local: List[List[ForestRootInfo]] = [[] for _ in range(p)]
+    phase_counts: List[int] = []
+    group_base = 0
+    current = initial
+
+    for j in range(d):
+        label = f"construct:phase{j}"
+        phase_counts.append(sum(len(box) for box in current))
+
+        # -- step 1: the black-box CGM sort --------------------------------
+        current = sample_sort(
+            mach,
+            current,
+            key=lambda rec, _j=j: (rec.tree_id, rec.ranks[_j]),
+            label=f"{label}:sort",
+        )
+
+        # -- step 2: name positions (within tree + global) -----------------
+        in_tree = segmented_partial_sum(
+            mach,
+            [[(rec.tree_id, 1) for rec in box] for box in current],
+            op=lambda a, b: a + b,
+            zero=0,
+            label=f"{label}:tree-rank",
+        )
+        positions, total = global_positions(mach, current, label=f"{label}:positions")
+        ngroups = total // k
+
+        # -- step 3: route groups to their owners (group g -> g mod p) -----
+        tagged: List[List[tuple]] = [
+            [
+                (pos // k, (pit - 1) // k, rec)
+                for pos, pit, rec in zip(positions[r], in_tree[r], current[r])
+            ]
+            for r in range(p)
+        ]
+        inboxes = route(
+            mach,
+            tagged,
+            lambda _r, item: (group_base + item[0]) % p,
+            label=f"{label}:route-groups",
+        )
+
+        # -- step 4: build elements + fan out next-phase records locally ----
+        next_records: List[List[SRecord]] = [[] for _ in range(p)]
+
+        def build_elements(ctx, _j=j, _base=group_base) -> None:
+            r = ctx.rank
+            groups: dict[int, list] = {}
+            for g, leaf_m, rec in inboxes[r]:
+                groups.setdefault(g, []).append((leaf_m, rec))
+            for g in sorted(groups):
+                members = groups[g]  # already in ascending global (rank) order
+                leaf_m = members[0][0]
+                recs = [rec for _m, rec in members]
+                tree_id = recs[0].tree_id
+                root_idx = root_index_of_tree(tree_id)
+                root_lvl = root_level_of_tree(tree_id, primary_height=logn)
+                idx = leaf_index(root_idx, root_lvl, leaf_level, leaf_m)
+                fid = make_path(idx, leaf_level, tree_id)
+                el = build_forest_element(
+                    forest_id=fid,
+                    dim=_j,
+                    location=r,
+                    group_rank=_base + g,
+                    ranks_rows=[rec.ranks for rec in recs],
+                    pids=[rec.pid for rec in recs],
+                    values=[rec.value for rec in recs],
+                    semigroup=semigroup,
+                )
+                store[r][fid] = el
+                roots_local[r].append(el.root_info())
+                stored_records[r] += el.size_records
+                ctx.charge(el.size_records)
+                if _j < d - 1:
+                    for _m, rec in members:
+                        for anc in hat_ancestor_paths(idx, leaf_level, root_lvl, tree_id):
+                            next_records[r].append(
+                                SRecord(
+                                    tree_id=anc,
+                                    ranks=rec.ranks,
+                                    pid=rec.pid,
+                                    value=rec.value,
+                                )
+                            )
+                    ctx.charge(len(members))
+            mach.check_capacity(r, stored_records[r] + len(next_records[r]))
+
+        mach.compute(f"{label}:build-elements", build_elements)
+        group_base += ngroups
+        current = next_records
+
+    # -- step 5: broadcast forest roots; rebuild the identical hat locally --
+    gathered = alltoall_broadcast(mach, roots_local, label="construct:roots")
+
+    def build_hat(ctx) -> Hat:
+        hat = Hat.build(gathered[ctx.rank], d=d, n=n, p=p, semigroup=semigroup)
+        ctx.charge(hat.size_nodes())
+        return hat
+
+    hats = mach.compute("construct:build-hat", build_hat)
+
+    return ConstructResult(
+        hat=hats[0],
+        forest_store=store,
+        roots=list(gathered[0]),
+        phase_record_counts=phase_counts,
+        p=p,
+    )

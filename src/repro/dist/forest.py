@@ -1,0 +1,177 @@
+"""Forest elements: the per-processor remainder of the tree (§4, Definition 3).
+
+Cutting every segment tree of the d-dimensional range tree at level
+``log2(n/p)`` leaves the replicated *hat* on top and a forest of subtrees
+below.  Each subtree, together with all of its descendant trees in the
+remaining dimensions, is one **forest element**: a ``(d - j)``-dimensional
+range tree over exactly ``n/p`` points embedded in the *global* rank
+space (Theorem 1 packs them into groups ``F_i`` of ``O(s/p)`` records,
+one group per processor).
+
+A :class:`ForestElement` therefore wraps the sequential rank-space
+:class:`~repro.seq.range_tree.RangeTree` — the same canonical-walk code
+answers subqueries here that answers whole queries sequentially, which is
+what makes the hat/forest split exact: the distributed selection is the
+sequential selection, partitioned at the cut level.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple
+
+import numpy as np
+
+from ..semigroup import Semigroup
+from ..seq.range_tree import CanonicalSelection, RangeTree
+from ..seq.segment_tree import WalkStats
+from .labeling import Path
+from .records import ForestRootInfo
+
+__all__ = ["ForestElement", "build_forest_element"]
+
+
+class ForestElement:
+    """One element of the forest: a range tree on ``n/p`` points.
+
+    Parameters mirror the record flow of Algorithm Construct: the element
+    is built at its owner from the routed group of
+    :class:`~repro.dist.records.SRecord` payloads, whose rank rows are
+    contiguous in dimension ``dim`` (they tile one hat-leaf segment) and
+    arbitrary in the later dimensions the element spans.
+    """
+
+    __slots__ = (
+        "forest_id",
+        "dim",
+        "location",
+        "group_rank",
+        "ranks",
+        "pids",
+        "values",
+        "semigroup",
+        "tree",
+    )
+
+    def __init__(
+        self,
+        forest_id: Path,
+        dim: int,
+        location: int,
+        group_rank: int,
+        ranks: np.ndarray,
+        pids: Sequence[int],
+        values: Sequence[Any],
+        semigroup: Semigroup,
+    ) -> None:
+        self.forest_id = forest_id
+        self.dim = dim
+        self.location = location
+        self.group_rank = group_rank
+        self.ranks = np.asarray(ranks, dtype=np.int64)
+        self.pids = tuple(int(x) for x in pids)
+        self.values = list(values)
+        self.semigroup = semigroup
+        self.tree = RangeTree(self.ranks, self.values, semigroup, start_dim=dim)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def nleaves(self) -> int:
+        """Points in the element (always ``n/p`` inside a built tree)."""
+        return len(self.pids)
+
+    @property
+    def seg(self) -> Tuple[int, int]:
+        """Closed rank interval covered in the element's own dimension."""
+        return self.tree.root_tree.seg.seg(1)
+
+    @property
+    def size_records(self) -> int:
+        """Total leaf records across the element's segment trees.
+
+        This is the element's contribution to the ``O(s/p)`` memory of
+        Theorem 1(ii), and the weight used when Search replicates it.
+        """
+        return self.tree.space_leaves()
+
+    def root_info(self) -> ForestRootInfo:
+        """The summary Construct step 5 broadcasts for the hat build."""
+        return ForestRootInfo(
+            path=self.forest_id,
+            dim=self.dim,
+            seg=self.seg,
+            nleaves=self.nleaves,
+            location=self.location,
+            group_rank=self.group_rank,
+            agg=self.tree.root_agg(),
+        )
+
+    # ------------------------------------------------------------------
+    # queries (Search step 5)
+    # ------------------------------------------------------------------
+    def canonical(self, box, stats: WalkStats | None = None) -> list[CanonicalSelection]:
+        """Canonical dimension-``d`` selection of a rank box inside the element.
+
+        ``stats`` overrides the element's shared counter; Search passes a
+        per-subquery counter so charging stays race-free when replicas of
+        one element are walked concurrently under the thread backend.
+        """
+        return self.tree.canonical(box, stats=stats)
+
+    def selection_pids(self, selection: CanonicalSelection) -> Tuple[int, ...]:
+        """Point ids below one selected node (report mode)."""
+        return tuple(self.pids[r] for r in selection.rows())
+
+    def all_pids(self) -> Tuple[int, ...]:
+        """Every point id in the element, ordered by its primary-dimension rank."""
+        return tuple(self.pids[r] for r in self.tree.root_tree.order)
+
+    # ------------------------------------------------------------------
+    # re-annotation (Algorithm AssociativeFunction step 1)
+    # ------------------------------------------------------------------
+    def reannotate(self, values: Sequence[Any], semigroup: Semigroup) -> None:
+        """Swap the aggregate function without rebuilding topology.
+
+        ``values`` aligns with the element's original record order (the
+        order ``pids`` was given in).  O(size) local work, no rounds.
+        """
+        self.values = list(values)
+        self.semigroup = semigroup
+        self.tree.reannotate(self.values, semigroup)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ForestElement(id={self.forest_id}, dim={self.dim}, "
+            f"nleaves={self.nleaves}, location={self.location})"
+        )
+
+
+def build_forest_element(
+    forest_id: Path,
+    dim: int,
+    location: int,
+    group_rank: int,
+    ranks_rows: Sequence[Tuple[int, ...]],
+    pids: Sequence[int],
+    values: Sequence[Any],
+    semigroup: Semigroup,
+) -> ForestElement:
+    """Build one forest element from a routed record group (Construct step 3).
+
+    ``ranks_rows`` are the group's global rank vectors — contiguous in
+    dimension ``dim`` (they tile the hat leaf named by ``forest_id``) —
+    with ``pids`` and lifted ``values`` aligned row for row.  The group
+    size must be a power of two (``n/p`` by construction).
+    """
+    ranks = np.asarray([tuple(r) for r in ranks_rows], dtype=np.int64)
+    return ForestElement(
+        forest_id=forest_id,
+        dim=dim,
+        location=location,
+        group_rank=group_rank,
+        ranks=ranks,
+        pids=pids,
+        values=values,
+        semigroup=semigroup,
+    )

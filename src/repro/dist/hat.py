@@ -1,0 +1,405 @@
+"""The hat: the replicated top of the distributed range tree (§4, Figure 3).
+
+Cutting every segment tree of the d-dimensional range tree at level
+``log2(n/p)`` yields the **hat** — the union of the top ``log p`` levels
+of the primary tree, of the descendant trees of its internal nodes, of
+*their* internal nodes' descendants, and so on (Definition 3).  Theorem 1
+bounds its size by ``O(p log^{d-1} p)`` nodes, small enough to replicate
+on every processor; its leaves (the *hat leaves*) name exactly the forest
+elements, whose roots they are.
+
+:meth:`Hat.build` reconstructs the whole hat deterministically from the
+:class:`~repro.dist.records.ForestRootInfo` summaries broadcast in
+Construct step 5: hat-leaf segments, leaf counts, aggregates, and owner
+locations come from the roots; internal nodes are derived bottom-up
+(segment = union of children, ``f(v) = f(left) ⊕ f(right)``).  Because
+the node labeling (§3, Definition 2) is pure arithmetic, every processor
+builds a bit-identical hat with no further communication.
+
+:meth:`Hat.walk` is step 1 of Algorithm Search: the four-case segment
+tree walk (§4) run entirely inside the hat, emitting dimension-``d``
+selections for nodes resolved within the hat and
+:class:`~repro.dist.records.Subquery` continuations for walks that reach
+a hat leaf and must proceed inside a forest element.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Sequence, Tuple
+
+from .._util import ilog2, require_power_of_two
+from ..errors import MachineError, ProtocolError
+from ..geometry.box import RankBox
+from ..semigroup import Semigroup
+from .labeling import Path, TreeId, leaf_index, make_path, parent_index
+from .records import ForestRootInfo, HatSelectionRecord, Subquery
+
+__all__ = ["Hat", "HatNode"]
+
+
+class HatNode:
+    """One node of the hat (any dimension).
+
+    ``index``/``level`` are the Definition 2 labels inside the node's own
+    segment tree; ``path`` the global name; ``lo``/``hi`` the closed rank
+    interval covered in the node's dimension (the tightest cover of its
+    points' ranks — exact for the four-case walk even though descendant
+    trees hold non-contiguous rank subsets).  Hat leaves additionally
+    carry the ``location`` (owner rank) and ``group_rank`` of the forest
+    element rooted at them; internal nodes of dimensions before the last
+    carry the ``descendant`` pointer of Definition 1.
+    """
+
+    __slots__ = (
+        "index",
+        "level",
+        "dim",
+        "tree_id",
+        "path",
+        "lo",
+        "hi",
+        "nleaves",
+        "agg",
+        "is_hat_leaf",
+        "left",
+        "right",
+        "descendant",
+        "location",
+        "group_rank",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        level: int,
+        dim: int,
+        tree_id: TreeId,
+        lo: int,
+        hi: int,
+        nleaves: int,
+        agg: Any,
+        is_hat_leaf: bool,
+        left: "HatNode | None" = None,
+        right: "HatNode | None" = None,
+        location: int | None = None,
+        group_rank: int | None = None,
+    ) -> None:
+        self.index = index
+        self.level = level
+        self.dim = dim
+        self.tree_id = tree_id
+        self.path = make_path(index, level, tree_id)
+        self.lo = lo
+        self.hi = hi
+        self.nleaves = nleaves
+        self.agg = agg
+        self.is_hat_leaf = is_hat_leaf
+        self.left = left
+        self.right = right
+        self.descendant: HatNode | None = None
+        self.location = location
+        self.group_rank = group_rank
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_hat_leaf else "node"
+        return (
+            f"HatNode({kind} dim={self.dim} idx={self.index} lvl={self.level} "
+            f"seg=[{self.lo},{self.hi}] n={self.nleaves})"
+        )
+
+
+class Hat:
+    """The replicated hat of the distributed tree (Definition 3, Figure 3)."""
+
+    def __init__(
+        self,
+        root: HatNode,
+        nodes_by_path: dict[Path, HatNode],
+        d: int,
+        n: int,
+        p: int,
+        leaf_level: int,
+        semigroup: Semigroup,
+    ) -> None:
+        self.root = root
+        self.nodes_by_path = nodes_by_path
+        self.d = d
+        self.n = n
+        self.p = p
+        self._leaf_level = leaf_level
+        self.semigroup = semigroup
+
+    # ------------------------------------------------------------------
+    # construction from broadcast forest roots (Construct step 5)
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        roots: Sequence[ForestRootInfo],
+        d: int,
+        n: int,
+        p: int,
+        semigroup: Semigroup,
+    ) -> "Hat":
+        """Deterministically rebuild the hat from the forest root summaries.
+
+        Raises :class:`~repro.errors.ProtocolError` when the provided
+        roots do not tile the structure the labeling arithmetic predicts
+        for ``(n, p, d)`` — a missing, duplicated, or mislabeled root
+        means the construction protocol was violated on some processor.
+        """
+        if not roots:
+            raise MachineError("cannot build a hat from zero forest roots")
+        require_power_of_two("processor count p", p)
+        require_power_of_two("point count n", n)
+        if p > n:
+            raise MachineError(f"p={p} exceeds the padded point count n={n}")
+        if d < 1:
+            raise MachineError(f"dimension must be positive, got {d}")
+
+        by_path: dict[Path, ForestRootInfo] = {}
+        for info in roots:
+            if info.path in by_path:
+                raise ProtocolError(f"duplicate forest roots for {info.path}")
+            by_path[info.path] = info
+
+        leaf_level = ilog2(n) - ilog2(p)
+        nodes: dict[Path, HatNode] = {}
+        used: set[Path] = set()
+
+        def build_tree(tree_id: TreeId, root_idx: int, root_lvl: int, dim: int) -> HatNode:
+            width = 1 << (root_lvl - leaf_level)
+            level_nodes: List[HatNode] = []
+            for pos in range(width):
+                idx = leaf_index(root_idx, root_lvl, leaf_level, pos)
+                path = make_path(idx, leaf_level, tree_id)
+                info = by_path.get(path)
+                if info is None:
+                    raise ProtocolError(
+                        f"forest roots incomplete: no root for hat leaf {path}"
+                    )
+                used.add(path)
+                node = HatNode(
+                    index=idx,
+                    level=leaf_level,
+                    dim=dim,
+                    tree_id=tree_id,
+                    lo=info.seg[0],
+                    hi=info.seg[1],
+                    nleaves=info.nleaves,
+                    agg=info.agg,
+                    is_hat_leaf=True,
+                    location=info.location,
+                    group_rank=info.group_rank,
+                )
+                nodes[node.path] = node
+                level_nodes.append(node)
+            lvl = leaf_level
+            internal: List[HatNode] = []
+            while len(level_nodes) > 1:
+                lvl += 1
+                merged: List[HatNode] = []
+                for i in range(0, len(level_nodes), 2):
+                    lft, rgt = level_nodes[i], level_nodes[i + 1]
+                    node = HatNode(
+                        index=parent_index(lft.index),
+                        level=lvl,
+                        dim=dim,
+                        tree_id=tree_id,
+                        lo=lft.lo,
+                        hi=rgt.hi,
+                        nleaves=lft.nleaves + rgt.nleaves,
+                        agg=semigroup.combine(lft.agg, rgt.agg),
+                        is_hat_leaf=False,
+                        left=lft,
+                        right=rgt,
+                    )
+                    nodes[node.path] = node
+                    merged.append(node)
+                    internal.append(node)
+                level_nodes = merged
+            tree_root = level_nodes[0]
+            if dim < d - 1:
+                for node in internal:
+                    node.descendant = build_tree(
+                        node.path, node.index, node.level, dim + 1
+                    )
+            return tree_root
+
+        root = build_tree((), 1, ilog2(n), 0)
+        unexpected = set(by_path) - used
+        if unexpected:
+            raise ProtocolError(
+                "forest roots do not match the hat structure; unexpected: "
+                f"{sorted(unexpected)[:3]}"
+            )
+        return cls(
+            root=root,
+            nodes_by_path=nodes,
+            d=d,
+            n=n,
+            p=p,
+            leaf_level=leaf_level,
+            semigroup=semigroup,
+        )
+
+    # ------------------------------------------------------------------
+    # introspection (Theorem 1 / Figure 3 measurements)
+    # ------------------------------------------------------------------
+    @property
+    def leaf_level(self) -> int:
+        """The cut level ``log2(n/p)`` shared by every hat leaf."""
+        return self._leaf_level
+
+    def iter_nodes(self) -> Iterator[HatNode]:
+        """Every hat node, across all dimensions."""
+        return iter(self.nodes_by_path.values())
+
+    def hat_leaves(self) -> List[HatNode]:
+        """Every hat leaf — one per forest element, across all dimensions."""
+        return [v for v in self.iter_nodes() if v.is_hat_leaf]
+
+    def size_nodes(self) -> int:
+        """Total node count ``|H|`` (Theorem 1: ``O(p log^{d-1} p)``)."""
+        return len(self.nodes_by_path)
+
+    def segment_tree_count(self) -> int:
+        """Number of distinct segment trees spanning the hat."""
+        return len({v.tree_id for v in self.iter_nodes()})
+
+    def forest_leaves_under(self, node: HatNode) -> List[HatNode]:
+        """Hat leaves of ``node``'s own segment tree below it, left to right."""
+        out: List[HatNode] = []
+        stack = [node]
+        while stack:
+            v = stack.pop()
+            if v.is_hat_leaf:
+                out.append(v)
+            else:
+                stack.append(v.right)  # type: ignore[arg-type]
+                stack.append(v.left)  # type: ignore[arg-type]
+        return out
+
+    # ------------------------------------------------------------------
+    # Algorithm Search step 1: the hat walk
+    # ------------------------------------------------------------------
+    def walk(
+        self,
+        qid: int,
+        box: RankBox,
+        collect_leaves: bool = False,
+        charge: Callable[[int], None] | None = None,
+    ) -> Tuple[List[HatSelectionRecord], List[Subquery]]:
+        """Walk the hat for one rank-space query (§4's four cases).
+
+        Returns ``(selections, subqueries)``: the dimension-``d`` hat
+        nodes whose segments are contained in the query (each with its
+        precomputed ``f(v)``), and the continuations into forest elements
+        for walks that reached a hat leaf.  With ``collect_leaves``, each
+        selection also names the forest elements tiling its leaves so
+        report mode can expand it into point ids.  ``charge`` (if given)
+        receives the number of hat nodes visited — the O(log^d p) term of
+        Theorem 3's work bound.
+        """
+        sels: List[HatSelectionRecord] = []
+        subqs: List[Subquery] = []
+        if box.is_empty():
+            return sels, subqs
+        visited = self._walk_tree(self.root, qid, box, collect_leaves, sels, subqs)
+        if charge is not None and visited:
+            charge(visited)
+        return sels, subqs
+
+    def _walk_tree(
+        self,
+        tree_root: HatNode,
+        qid: int,
+        box: RankBox,
+        collect_leaves: bool,
+        sels: List[HatSelectionRecord],
+        subqs: List[Subquery],
+    ) -> int:
+        a, b = box.interval(tree_root.dim)
+        last_dim = tree_root.dim == self.d - 1
+        visited = 0
+        stack = [tree_root]
+        while stack:
+            v = stack.pop()
+            visited += 1
+            if b < v.lo or v.hi < a:
+                continue  # die
+            if a <= v.lo and v.hi <= b:  # select
+                if last_dim:
+                    fids: Tuple[Path, ...] = ()
+                    locs: Tuple[int, ...] = ()
+                    if collect_leaves:
+                        leaves = self.forest_leaves_under(v)
+                        fids = tuple(l.path for l in leaves)
+                        locs = tuple(l.location for l in leaves)  # type: ignore[misc]
+                    sels.append(
+                        HatSelectionRecord(
+                            qid=qid,
+                            path=v.path,
+                            nleaves=v.nleaves,
+                            agg=v.agg,
+                            forest_ids=fids,
+                            locations=locs,
+                        )
+                    )
+                elif v.is_hat_leaf:
+                    subqs.append(self._subquery(qid, box, v))
+                else:
+                    visited += self._walk_tree(
+                        v.descendant, qid, box, collect_leaves, sels, subqs  # type: ignore[arg-type]
+                    )
+            else:  # split
+                if v.is_hat_leaf:
+                    subqs.append(self._subquery(qid, box, v))
+                else:
+                    stack.append(v.right)  # type: ignore[arg-type]
+                    stack.append(v.left)  # type: ignore[arg-type]
+        return visited
+
+    @staticmethod
+    def _subquery(qid: int, box: RankBox, leaf: HatNode) -> Subquery:
+        return Subquery(
+            qid=qid,
+            los=box.los,
+            his=box.his,
+            forest_id=leaf.path,
+            location=leaf.location,  # type: ignore[arg-type]
+        )
+
+    # ------------------------------------------------------------------
+    # re-annotation support (Algorithm AssociativeFunction step 1)
+    # ------------------------------------------------------------------
+    def refresh_aggregates(
+        self, roots: Sequence[ForestRootInfo], semigroup: Semigroup
+    ) -> None:
+        """Reseed hat-leaf aggregates from fresh forest roots and fold up.
+
+        Local work only — the one communication round of re-annotation is
+        the broadcast that delivered ``roots``.
+        """
+        self.semigroup = semigroup
+        by_path = {info.path: info for info in roots}
+        for leaf in self.hat_leaves():
+            info = by_path.get(leaf.path)
+            if info is None:
+                raise ProtocolError(f"re-annotation is missing forest root {leaf.path}")
+            leaf.agg = info.agg
+        self._refold(self.root)
+
+    def _refold(self, node: HatNode) -> None:
+        if not node.is_hat_leaf:
+            self._refold(node.left)  # type: ignore[arg-type]
+            self._refold(node.right)  # type: ignore[arg-type]
+            node.agg = self.semigroup.combine(node.left.agg, node.right.agg)  # type: ignore[union-attr]
+        if node.descendant is not None:
+            self._refold(node.descendant)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Hat(n={self.n}, p={self.p}, d={self.d}, "
+            f"nodes={self.size_nodes()}, leaf_level={self._leaf_level})"
+        )

@@ -1,0 +1,173 @@
+"""Processor-independent labeling of the distributed range tree (§3, Definition 2).
+
+The paper names every node of the d-dimensional range tree *without any
+global table*: a node of a segment tree is the pair ``(index, level)``
+where ``index`` is the classical heap index inside its segment tree
+(Figure 2: the children of index ``x`` are ``2x`` and ``2x + 1``) and
+``level`` is the distance to the leaves of that tree (Definition 2(i)).
+Because a descendant tree's root *inherits* the index of the node it
+hangs from (Definition 2(ii), Figure 2), a node is globally identified by
+its **path**: its own ``(index, level)`` pair followed by the pairs of
+the ancestor nodes whose descendant trees it lives in, innermost first.
+Lemma 1 states that these paths are unique; :func:`is_valid_path`
+verifies the arithmetic a legal path must satisfy.
+
+The *tree id* of a node is its path with the leading pair removed — the
+path of the node its segment tree hangs from — so the primary tree ``T1``
+has tree id ``()`` and a phase-``j`` tree has a tree id of length ``j``.
+
+Everything in this module is pure integer arithmetic: it runs identically
+on every virtual processor with no communication, which is what lets
+Algorithm Construct route records and Algorithm Search address forest
+elements by name alone.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+__all__ = [
+    "left_child_index",
+    "right_child_index",
+    "parent_index",
+    "ancestor_index",
+    "leaf_index",
+    "make_path",
+    "tree_id_of",
+    "phase_of_path",
+    "phase_of_tree",
+    "root_index_of_tree",
+    "root_level_of_tree",
+    "hat_ancestor_paths",
+    "is_valid_path",
+]
+
+#: A node's name inside one segment tree: ``(heap index, level)``.
+IndexLevel = Tuple[int, int]
+#: A global node name: its own pair followed by its anchors', innermost first.
+Path = Tuple[IndexLevel, ...]
+#: A segment tree's name: the path of the node it hangs from (``()`` for T1).
+TreeId = Tuple[IndexLevel, ...]
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 heap arithmetic
+# ---------------------------------------------------------------------------
+def left_child_index(x: int) -> int:
+    """Heap index of the left child of index ``x`` (Figure 2: ``2x``)."""
+    return 2 * x
+
+
+def right_child_index(x: int) -> int:
+    """Heap index of the right child of index ``x`` (Figure 2: ``2x + 1``)."""
+    return 2 * x + 1
+
+
+def parent_index(x: int) -> int:
+    """Heap index of the parent of index ``x``."""
+    return x >> 1
+
+
+def ancestor_index(x: int, k: int) -> int:
+    """Heap index of the ``k``-th ancestor of index ``x`` (``k = 0`` is ``x``)."""
+    return x >> k
+
+
+def leaf_index(root_index: int, root_level: int, leaf_level: int, position: int) -> int:
+    """Heap index of the ``position``-th node at ``leaf_level`` under a root.
+
+    The root sits at ``(root_index, root_level)``; descending
+    ``root_level - leaf_level`` steps reaches ``2^(root_level - leaf_level)``
+    nodes, enumerated left to right by ``position``.  Because a descendant
+    tree's root inherits its anchor's index (Definition 2(ii)), this also
+    enumerates the leaves of descendant trees whose root index is not 1.
+    """
+    if leaf_level > root_level:
+        raise ValueError(
+            f"leaf level {leaf_level} exceeds root level {root_level}"
+        )
+    width = 1 << (root_level - leaf_level)
+    if not 0 <= position < width:
+        raise ValueError(
+            f"leaf position {position} out of range 0..{width - 1}"
+        )
+    return (root_index << (root_level - leaf_level)) + position
+
+
+# ---------------------------------------------------------------------------
+# paths and tree ids (Definition 2 / Lemma 1)
+# ---------------------------------------------------------------------------
+def make_path(index: int, level: int, tree_id: TreeId) -> Path:
+    """The global path of node ``(index, level)`` inside tree ``tree_id``."""
+    return ((int(index), int(level)),) + tuple(tree_id)
+
+
+def tree_id_of(path: Path) -> TreeId:
+    """The id of the segment tree a path's node lives in."""
+    return tuple(path[1:])
+
+
+def phase_of_path(path: Path) -> int:
+    """Construction phase (= dimension) of a node: path length minus one."""
+    if not path:
+        raise ValueError("the empty path names no node")
+    return len(path) - 1
+
+
+def phase_of_tree(tree_id: TreeId) -> int:
+    """Construction phase of a segment tree: the length of its id."""
+    return len(tree_id)
+
+
+def root_index_of_tree(tree_id: TreeId) -> int:
+    """Heap index of a tree's root: 1 for T1, else inherited (Figure 2)."""
+    return 1 if not tree_id else tree_id[0][0]
+
+
+def root_level_of_tree(tree_id: TreeId, primary_height: int) -> int:
+    """Level of a tree's root: the primary height for T1, else the anchor's."""
+    return primary_height if not tree_id else tree_id[0][1]
+
+
+def hat_ancestor_paths(
+    leaf_index_: int, leaf_level: int, root_level: int, tree_id: TreeId
+) -> Iterator[Path]:
+    """Paths of the proper ancestors of a node, nearest first.
+
+    Yields ``root_level - leaf_level`` paths, one per level above the node
+    up to and including its tree's root.  Algorithm Construct uses this to
+    fan a point record out to every internal hat node whose descendant
+    tree must contain the point (§5, step 4 of Construct).
+    """
+    idx, lvl = leaf_index_, leaf_level
+    while lvl < root_level:
+        idx = parent_index(idx)
+        lvl += 1
+        yield make_path(idx, lvl, tree_id)
+
+
+def is_valid_path(path: Path) -> bool:
+    """Check the arithmetic a legal Definition 2 path must satisfy.
+
+    Each pair must be a positive heap index with a non-negative level, and
+    every consecutive pair ``(x, l), (a, L)`` must place ``x`` inside the
+    subtree of anchor ``a``: ``l <= L`` and the ``(L - l)``-th ancestor of
+    ``x`` must be ``a`` (the descendant root inherits the anchor's index,
+    so the root itself satisfies this with ``l == L``).
+    """
+    if not isinstance(path, tuple) or not path:
+        return False
+    for pair in path:
+        if not (isinstance(pair, tuple) and len(pair) == 2):
+            return False
+        idx, lvl = pair
+        if not (isinstance(idx, int) and isinstance(lvl, int)):
+            return False
+        if idx < 1 or lvl < 0:
+            return False
+    for (idx, lvl), (aidx, alvl) in zip(path, path[1:]):
+        if lvl > alvl:
+            return False
+        if ancestor_index(idx, alvl - lvl) != aidx:
+            return False
+    return True

@@ -1,0 +1,190 @@
+"""Output modes over the search selections (§5, Theorems 4 and 5).
+
+Algorithm Search leaves every query's answer scattered across the
+machine as O(log^d n) selection pieces.  The paper's two output modes
+reduce them:
+
+* **Associative-function mode** (:func:`fold_by_query`): each piece
+  carries a semigroup value (``f(v)`` of a hat node, or the aggregate of
+  a forest selection); a global sort by query id followed by a segmented
+  fold leaves one ``(qid, ⊕ value)`` pair per query.  5 rounds total —
+  4 for the sort, 1 for the run-boundary scan — regardless of ``n``.
+* **Report mode** (:func:`batched_report_pairs`): pieces expand to
+  ``(qid, pid)`` pairs — forest selections carry their ids, hat
+  selections expand through the forest elements tiling their leaves —
+  and a balanced redistribution leaves every processor at most
+  ``ceil(k/p)`` of the ``k`` output pairs (the ``k/p`` term of
+  Theorem 5).
+
+Both assume a commutative semigroup, as the paper does: pieces of one
+query are folded in global sorted order, which interleaves hat and
+forest pieces arbitrarily.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Tuple
+
+from ..cgm.collectives import allgather, route, route_balanced
+from ..cgm.machine import Machine
+from ..cgm.sort import sample_sort
+from .search import SearchOutput
+
+__all__ = ["fold_by_query", "batched_counts", "batched_report_pairs"]
+
+
+def fold_by_query(
+    mach: Machine,
+    out: SearchOutput,
+    hat_value: Callable[[Any], Any],
+    forest_value: Callable[[Any], Any],
+    op: Callable[[Any, Any], Any],
+    zero: Any,
+    label: str = "fold",
+) -> List[List[Tuple[int, Any]]]:
+    """Fold every query's selection pieces into one value (Theorem 4).
+
+    ``hat_value``/``forest_value`` extract the per-piece contribution
+    (leaf counts for counting, ``f(v)`` for a general semigroup); ``op``
+    must be commutative with identity ``zero``.  Returns, per processor,
+    ``(qid, folded value)`` pairs — one per query that produced pieces,
+    left where the fold's last piece landed (balanced by the sort).
+    """
+    p = mach.p
+    pieces: List[List[Tuple[int, Any]]] = [[] for _ in range(p)]
+    for r in range(p):
+        for h in out.hat_selections[r]:
+            pieces[r].append((h.qid, hat_value(h)))
+        for f in out.forest_selections[r]:
+            pieces[r].append((f.qid, forest_value(f)))
+
+    ordered = sample_sort(mach, pieces, key=lambda t: t[0], label=f"{label}:sort")
+    return _fold_sorted_runs(mach, ordered, op, zero, label)
+
+
+def _fold_sorted_runs(
+    mach: Machine,
+    ordered: List[List[Tuple[int, Any]]],
+    op: Callable[[Any, Any], Any],
+    zero: Any,
+    label: str,
+) -> List[List[Tuple[int, Any]]]:
+    """Segmented fold over qid-sorted pieces; one communication round.
+
+    A query's run may straddle processor boundaries (the sort balances
+    counts, not runs).  One all-gather of per-processor run summaries
+    resolves both the carry *into* each processor's first run and
+    whether its last run continues to the right; the processor holding a
+    run's final piece emits the query's folded value, so every query is
+    emitted exactly once.
+    """
+    p = mach.p
+
+    # Local run totals plus the summary every processor needs to see.
+    local_runs: List[List[Tuple[int, Any]]] = []
+    summaries: List[Tuple[bool, Any, Any, Any, bool]] = []
+    for r in range(p):
+        runs: List[Tuple[int, Any]] = []
+        for qid, val in ordered[r]:
+            if runs and runs[-1][0] == qid:
+                runs[-1] = (qid, op(runs[-1][1], val))
+            else:
+                runs.append((qid, val))
+        local_runs.append(runs)
+        if runs:
+            summaries.append(
+                (True, runs[0][0], runs[-1][0], runs[-1][1], len(runs) == 1)
+            )
+        else:
+            summaries.append((False, None, None, zero, True))
+
+    info = allgather(mach, summaries, label=f"{label}:runs")[0]
+
+    result: List[List[Tuple[int, Any]]] = []
+    for r in range(p):
+        runs = list(local_runs[r])
+        if not runs:
+            result.append([])
+            continue
+        # Carry into the first run from left neighbours ending in the same qid.
+        first_qid = runs[0][0]
+        carry = zero
+        q = r - 1
+        while q >= 0:
+            nonempty, f_qid, l_qid, l_total, single = info[q]
+            if not nonempty:
+                q -= 1
+                continue
+            if l_qid != first_qid:
+                break
+            carry = op(l_total, carry)
+            if not single:
+                break
+            q -= 1
+        runs[0] = (first_qid, op(carry, runs[0][1]))
+        # Drop the last run if it continues on a processor to the right
+        # (that processor emits the completed fold).
+        last_qid = runs[-1][0]
+        for q in range(r + 1, p):
+            nonempty, f_qid, _l, _t, _s = info[q]
+            if not nonempty:
+                continue
+            if f_qid == last_qid:
+                runs.pop()
+            break
+        result.append(runs)
+    return result
+
+
+def batched_counts(mach: Machine, out: SearchOutput) -> List[List[Tuple[int, int]]]:
+    """Counting mode: fold leaf counts per query (Theorem 4 with ⊕ = +)."""
+    return fold_by_query(
+        mach,
+        out,
+        hat_value=lambda h: h.nleaves,
+        forest_value=lambda f: f.nleaves,
+        op=lambda a, b: a + b,
+        zero=0,
+        label="count",
+    )
+
+
+def batched_report_pairs(
+    mach: Machine, out: SearchOutput
+) -> List[List[Tuple[int, int]]]:
+    """Report mode: balanced ``(qid, pid)`` pairs (Theorem 5's ``k/p`` term).
+
+    Forest selections expand from their own id lists; hat selections
+    expand through the forest elements tiling their leaves — which is
+    why the facade runs Search with ``collect_leaves=True`` (a selection
+    walked without it carries no expansion and contributes nothing).
+    Because those elements live at their owners, the expansion requests
+    are *routed* there first (one round) and expanded in a charged
+    compute phase, so the pairs' cost is measured on the machine like
+    everything else.  Power-of-two padding sentinels (negative ids) are
+    dropped.  The final balanced route leaves every processor at most
+    ``ceil(k/p)`` pairs.
+    """
+    p = mach.p
+    pairs: List[List[Tuple[int, int]]] = [[] for _ in range(p)]
+    requests: List[List[Tuple[int, Any]]] = [[] for _ in range(p)]
+    for r in range(p):
+        for f in out.forest_selections[r]:
+            pairs[r].extend((f.qid, pid) for pid in f.pids() if pid >= 0)
+        for h in out.hat_selections[r]:
+            for fid, loc in zip(h.forest_ids, h.locations):
+                requests[r].append((h.qid, fid, loc))
+    routed = route(
+        mach, requests, lambda _r, req: req[2], label="report:expand-route"
+    )
+
+    def expand(ctx) -> None:
+        r = ctx.rank
+        store = out.owner_stores[r]
+        for qid, fid, _loc in routed[r]:
+            el = store[fid]
+            pairs[r].extend((qid, pid) for pid in el.all_pids() if pid >= 0)
+            ctx.charge(el.nleaves)
+
+    mach.compute("report:expand", expand)
+    return route_balanced(mach, pairs, label="report:balance")

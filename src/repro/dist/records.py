@@ -1,0 +1,147 @@
+"""Record types exchanged between virtual processors (§5, Algorithms
+Construct and Search).
+
+Every CGM round of the distributed range tree routes one of these small,
+immutable record types.  Keeping them frozen dataclasses makes the
+simulated communication honest: a record received by another virtual
+processor cannot be mutated in place to smuggle information a real
+message could not carry.
+
+* :class:`SRecord` — the construction record of §5: a point (its global
+  rank vector, id, and lifted semigroup value) tagged with the id of the
+  segment tree it is currently being inserted into.  Phase ``j`` of
+  Algorithm Construct sorts ``SRecord``s by ``(tree_id, rank_j)``.
+* :class:`ForestRootInfo` — the summary of one forest element broadcast
+  in Construct step 5, from which every processor rebuilds the hat.
+* :class:`HatSelectionRecord` — a dimension-``d`` hat node selected by a
+  query during Algorithm Search step 1 (the hat walk).
+* :class:`Subquery` — the continuation of a query into one forest
+  element (Search steps 2-4 route and balance these).
+* :class:`ForestSelection` — a dimension-``d`` node selected inside a
+  forest element by a subquery (Search step 5).
+* :class:`ReportUnit` — a weighted chunk of report-mode output pairs
+  (Theorem 5's ``O(k/p)`` balancing operates on these).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from .labeling import Path, TreeId, tree_id_of
+
+__all__ = [
+    "SRecord",
+    "ForestRootInfo",
+    "HatSelectionRecord",
+    "Subquery",
+    "ForestSelection",
+    "ReportUnit",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SRecord:
+    """One point being inserted into one segment tree (§5, Construct).
+
+    ``tree_id`` names the segment tree (Definition 2); ``ranks`` is the
+    point's full global rank vector; ``pid`` its point id (negative for
+    power-of-two padding sentinels); ``value`` its lifted semigroup value.
+    """
+
+    tree_id: TreeId
+    ranks: Tuple[int, ...]
+    pid: int
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class ForestRootInfo:
+    """What Construct step 5 broadcasts about one forest element.
+
+    ``path`` is the element's name — the path of the hat leaf it hangs
+    below (Definition 3) — and ``seg`` the closed rank interval its
+    primary segment tree covers in dimension ``dim``.  ``location`` is
+    the owning processor (``group_rank mod p``) and ``agg`` the semigroup
+    value of all its points, which seeds the hat's ``f(v)`` annotations.
+    """
+
+    path: Path
+    dim: int
+    seg: Tuple[int, int]
+    nleaves: int
+    location: int
+    group_rank: int
+    agg: Any
+
+    @property
+    def tree_id(self) -> TreeId:
+        """Id of the segment tree whose hat this root's leaf belongs to."""
+        return tree_id_of(self.path)
+
+
+@dataclass(frozen=True, slots=True)
+class HatSelectionRecord:
+    """A dimension-``d`` hat node selected for query ``qid`` (Search step 1).
+
+    ``agg`` is the precomputed ``f(v)`` of the node (``None`` when the
+    caller only needs leaf counts).  When the walk runs with
+    ``collect_leaves=True``, ``forest_ids``/``locations`` name the forest
+    elements tiling the node's leaves so report mode can expand the
+    selection into point ids (Theorem 5).
+    """
+
+    qid: int
+    path: Path
+    nleaves: int
+    agg: Any = None
+    forest_ids: Tuple[Path, ...] = ()
+    locations: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Subquery:
+    """A query continuation aimed at one forest element (Search step 2).
+
+    ``los``/``his`` reproduce the full rank-space query box; the element
+    resumes the canonical walk in its own dimension.  ``location`` is the
+    element's *owner* — steps 3-4 may route the subquery to a replica
+    instead when the owner is oversubscribed.
+    """
+
+    qid: int
+    los: Tuple[int, ...]
+    his: Tuple[int, ...]
+    forest_id: Path
+    location: int
+
+
+@dataclass(frozen=True, slots=True)
+class ForestSelection:
+    """A dimension-``d`` node selected inside a forest element (Search step 5)."""
+
+    qid: int
+    forest_id: Path
+    nleaves: int
+    agg: Any
+    pid_tuple: Tuple[int, ...] = ()
+
+    def pids(self) -> Tuple[int, ...]:
+        """Point ids below the selected node (may include negative sentinels)."""
+        return self.pid_tuple
+
+
+@dataclass(frozen=True, slots=True)
+class ReportUnit:
+    """A chunk of report-mode output: point ids matching query ``qid``.
+
+    Theorem 5's balancing step treats a unit's ``weight`` (its id count)
+    as the h-relation cost of moving it.
+    """
+
+    qid: int
+    ids: Tuple[int, ...] = ()
+
+    @property
+    def weight(self) -> int:
+        return len(self.ids)

@@ -1,0 +1,203 @@
+"""Algorithm Search: batched queries in O(1) rounds (§5, Theorems 3-5).
+
+A batch of ``m = O(n)`` rank-space queries is answered in a constant
+number of h-relations:
+
+1. **Hat walk** (local): each processor walks the replicated hat for its
+   block of queries (:meth:`repro.dist.hat.Hat.walk`), producing
+   dimension-``d`` hat selections and the surviving subquery set ``Q'``
+   aimed at forest elements.
+2. **Demand count** (1 round): one all-gather sums, per owner ``j``, the
+   number of subqueries wanting its forest group; the copy counts
+   ``c_j = ceil(|Q'_{F_j}| / ceil(|Q'|/p))`` follow locally
+   (:func:`repro.cgm.loadbalance.compute_copy_counts`).
+3. **Replication**: oversubscribed groups are copied to other
+   processors.  ``direct`` ships every copy from the owner in one round
+   (h spikes to ``c_j·|F_j|``); ``doubling`` recruits one new holder per
+   existing holder per round — ``log2 p`` rounds, always run in full so
+   the round count is a function of ``(p, strategy)`` alone, never of
+   the data (the Corollary tests measure exactly this).
+4. **Subquery routing** (1 round): owner ``j``'s subqueries are split
+   into ``c_j`` chunks of at most ``ceil(|Q'|/p)`` and routed to the
+   copy holders, so no processor serves more than ``O(|Q'|/p)``.
+5. **Forest walk** (local): each holder resumes the canonical walk
+   inside its (copies of) forest elements, emitting
+   :class:`~repro.dist.records.ForestSelection` records.
+
+The output modes of Theorems 4-5 (:mod:`repro.dist.modes`) then fold the
+selections per query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from .._util import ilog2
+from ..cgm.collectives import allgather
+from ..cgm.loadbalance import (
+    assign_copies_round_robin,
+    compute_copy_counts,
+    replicate_groups,
+)
+from ..cgm.machine import Machine
+from ..errors import ProtocolError
+from ..geometry.box import RankBox
+from ..seq.segment_tree import WalkStats
+from .hat import Hat
+from .records import ForestSelection, HatSelectionRecord, Subquery
+
+__all__ = ["SearchOutput", "run_search"]
+
+
+@dataclass
+class SearchOutput:
+    """Everything Algorithm Search leaves distributed over the machine.
+
+    ``hat_selections[r]``/``forest_selections[r]`` are the records
+    produced at rank ``r``; ``owner_stores`` exposes the per-owner forest
+    stores so report mode can expand hat selections into point ids.  The
+    load-balancing observables of steps 2-4 (``demands`` per owner,
+    ``copy_counts``, per-processor subquery counts) are what the M1/S1
+    experiments and the Theorem 3 tests measure.
+    """
+
+    hat_selections: List[List[HatSelectionRecord]]
+    forest_selections: List[List[ForestSelection]]
+    owner_stores: List[dict]
+    demands: List[int] = field(default_factory=list)
+    copy_counts: List[int] = field(default_factory=list)
+    subqueries_per_proc: List[int] = field(default_factory=list)
+    total_subqueries: int = 0
+
+
+def run_search(
+    mach: Machine,
+    hat: Hat,
+    forest_store: Sequence[dict],
+    rank_boxes: Sequence[RankBox],
+    collect_leaves: bool = False,
+    replication: str = "doubling",
+) -> SearchOutput:
+    """Execute Algorithm Search for a batch of rank-space queries."""
+    p = mach.p
+    m = len(rank_boxes)
+    chunk = -(-m // p) if m else 1
+
+    # -- step 1: hat walk over each processor's query block ----------------
+    def walk(ctx):
+        r = ctx.rank
+        sels: List[HatSelectionRecord] = []
+        subqs: List[Subquery] = []
+        for qid in range(r * chunk, min(m, (r + 1) * chunk)):
+            s, q = hat.walk(
+                qid, rank_boxes[qid], collect_leaves=collect_leaves, charge=ctx.charge
+            )
+            sels.extend(s)
+            subqs.extend(q)
+        return sels, subqs
+
+    walked = mach.compute("search:walk", walk)
+    hat_selections = [w[0] for w in walked]
+    local_subqs = [w[1] for w in walked]
+
+    # -- step 2: demand per forest group (one all-gather) ------------------
+    local_demand = []
+    for r in range(p):
+        vec = [0] * p
+        for sq in local_subqs[r]:
+            vec[sq.location] += 1
+        local_demand.append(tuple(vec))
+    demand_matrix = allgather(mach, local_demand, label="search:demands")[0]
+    demands = [sum(row[j] for row in demand_matrix) for j in range(p)]
+    total = sum(demands)
+    copy_counts = compute_copy_counts(demands, total, p)
+    targets = assign_copies_round_robin(copy_counts, p)
+
+    # -- step 3: replicate oversubscribed groups ---------------------------
+    holders = _replicate_stores(mach, forest_store, targets, replication)
+
+    # -- step 4: split each owner's subqueries over its copies and route ---
+    per_copy = [max(1, -(-demands[j] // len(targets[j]))) for j in range(p)]
+    offsets = [
+        [sum(demand_matrix[q][j] for q in range(r)) for j in range(p)]
+        for r in range(p)
+    ]
+
+    def dest_for(r: int, sq: Subquery, counter: List[int]) -> int:
+        j = sq.location
+        global_idx = offsets[r][j] + counter[j]
+        counter[j] += 1
+        copy = min(global_idx // per_copy[j], len(targets[j]) - 1)
+        return targets[j][copy]
+
+    outboxes = mach.empty_outboxes()
+    for r in range(p):
+        counter = [0] * p
+        for sq in local_subqs[r]:
+            outboxes[r][dest_for(r, sq, counter)].append(sq)
+    inboxes = mach.exchange("search:route-subqueries", outboxes)
+    subqueries_per_proc = [len(box) for box in inboxes]
+
+    # -- step 5: resume the canonical walk inside the forest ---------------
+    forest_selections: List[List[ForestSelection]] = [[] for _ in range(p)]
+
+    def process(ctx):
+        r = ctx.rank
+        for sq in inboxes[r]:
+            store = holders[r].get(sq.location)
+            if store is None or sq.forest_id not in store:
+                raise ProtocolError(
+                    f"rank {r} received subquery for {sq.forest_id} "
+                    f"without holding a copy of group {sq.location}"
+                )
+            el = store[sq.forest_id]
+            stats = WalkStats()
+            for sel in el.canonical(RankBox(sq.los, sq.his), stats=stats):
+                forest_selections[r].append(
+                    ForestSelection(
+                        qid=sq.qid,
+                        forest_id=sq.forest_id,
+                        nleaves=sel.leaf_count,
+                        agg=sel.agg(),
+                        pid_tuple=el.selection_pids(sel),
+                    )
+                )
+            ctx.charge(max(1, stats.nodes_visited))
+
+    mach.compute("search:forest", process)
+
+    return SearchOutput(
+        hat_selections=hat_selections,
+        forest_selections=forest_selections,
+        owner_stores=list(forest_store),
+        demands=demands,
+        copy_counts=copy_counts,
+        subqueries_per_proc=subqueries_per_proc,
+        total_subqueries=total,
+    )
+
+
+def _replicate_stores(
+    mach: Machine,
+    forest_store: Sequence[dict],
+    targets: Sequence[Sequence[int]],
+    strategy: str,
+) -> List[dict]:
+    """Step 3's group replication with a data-independent round count.
+
+    Delegates to :func:`repro.cgm.loadbalance.replicate_groups`;
+    ``doubling`` is pinned to exactly ``log2 p`` rounds so Theorem 3's
+    "rounds independent of n" claim holds by construction, not by luck.
+    """
+    return replicate_groups(
+        mach,
+        payloads=list(forest_store),
+        targets=targets,
+        weight=lambda store: max(
+            1, sum(el.size_records for el in store.values())
+        ),
+        strategy=strategy,
+        label="search:replicate",
+        fixed_rounds=ilog2(mach.p) if strategy == "doubling" else None,
+    )

@@ -1,0 +1,152 @@
+"""Structural validator for a built distributed range tree.
+
+Checks the invariants the paper's definitions and theorems promise —
+Definition 2 labeling arithmetic, Definition 3 hat/forest consistency,
+Theorem 1 ownership layout, and the aggregate annotations ``f(v)`` of
+Algorithm AssociativeFunction — against a live tree.  Used by the CLI's
+``--validate`` flag and by tests to prove queries never mutate the
+structure; corruption of any single field (an aggregate, an owner
+location, a heap index) must be caught.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .labeling import is_valid_path
+
+__all__ = ["ValidationReport", "validate_tree"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_tree`: pass/fail plus the failure list."""
+
+    ok: bool
+    failures: List[str] = field(default_factory=list)
+    checks_run: int = 0
+
+    def summary(self, max_failures: int = 5) -> str:
+        """One-line human summary; long failure lists are truncated."""
+        if self.ok:
+            return f"validation: OK ({self.checks_run} checks)"
+        shown = "; ".join(self.failures[:max_failures])
+        extra = len(self.failures) - max_failures
+        tail = f" (+{extra} more)" if extra > 0 else ""
+        return f"validation: FAILED after {self.checks_run} checks — {shown}{tail}"
+
+
+def validate_tree(tree) -> ValidationReport:
+    """Verify every structural invariant of a :class:`DistributedRangeTree`.
+
+    Pure local inspection — no communication rounds, no mutation; safe to
+    run between query batches.
+    """
+    failures: List[str] = []
+    checks = 0
+    hat = tree.hat
+    p = tree.p
+    d = tree.dim
+    sg = tree.semigroup
+    combine = sg.combine
+
+    def check(cond: bool, message: str) -> None:
+        nonlocal checks
+        checks += 1
+        if not cond:
+            failures.append(message)
+
+    # -- Definition 2: labeling arithmetic and heap-index relations --------
+    for v in hat.iter_nodes():
+        check(is_valid_path(v.path), f"invalid path {v.path}")
+        if not v.is_hat_leaf:
+            check(
+                v.left is not None
+                and v.right is not None
+                and v.left.index == 2 * v.index
+                and v.right.index == 2 * v.index + 1,
+                f"sibling index arithmetic broken at {v.path}",
+            )
+            check(
+                v.lo == v.left.lo and v.hi == v.right.hi and v.left.hi < v.right.lo,
+                f"segment not the disjoint union of children at {v.path}",
+            )
+            check(
+                v.nleaves == v.left.nleaves + v.right.nleaves,
+                f"leaf count mismatch at {v.path}",
+            )
+
+    # -- Definition 1: descendant pointers ---------------------------------
+    for v in hat.iter_nodes():
+        if v.descendant is not None:
+            check(
+                v.descendant.dim == v.dim + 1
+                and v.descendant.nleaves == v.nleaves
+                and v.descendant.index == v.index,
+                f"descendant tree inconsistent at {v.path}",
+            )
+        if v.dim == d - 1:
+            check(v.descendant is None, f"last-dimension node {v.path} has a descendant")
+
+    # -- Algorithm AssociativeFunction: the f(v) annotations ---------------
+    # Every internal hat node of every dimension folds its children
+    # (Hat.build and refresh_aggregates maintain all of them, even though
+    # Search only reads the last dimension's).
+    for v in hat.iter_nodes():
+        if not v.is_hat_leaf:
+            check(
+                v.agg == combine(v.left.agg, v.right.agg),
+                f"aggregate f(v) mismatch at {v.path}",
+            )
+
+    # -- Definition 3 / Theorem 1: hat leaves name the forest exactly ------
+    for leaf in hat.hat_leaves():
+        check(
+            leaf.location is not None and 0 <= leaf.location < p,
+            f"hat leaf {leaf.path} has owner {leaf.location} outside 0..{p - 1}",
+        )
+        if not (leaf.location is not None and 0 <= leaf.location < p):
+            continue
+        el = tree.forest_store[leaf.location].get(leaf.path)
+        check(
+            el is not None,
+            f"missing forest element {leaf.path} at rank {leaf.location}",
+        )
+        if el is None:
+            continue
+        check(el.location == leaf.location, f"element {leaf.path} lies about its owner")
+        check(
+            el.nleaves == leaf.nleaves and el.seg == (leaf.lo, leaf.hi),
+            f"element {leaf.path} disagrees with its hat leaf",
+        )
+        check(
+            el.group_rank == leaf.group_rank and el.group_rank % p == leaf.location,
+            f"element {leaf.path} violates the group-to-processor rule",
+        )
+        check(
+            el.tree.root_agg() == leaf.agg,
+            f"hat-leaf aggregate stale for {leaf.path}",
+        )
+
+    # -- Store side: every stored element is a known, correctly-placed leaf -
+    seen: set = set()
+    for rank, store in enumerate(tree.forest_store):
+        for fid, el in store.items():
+            check(fid not in seen, f"forest id {fid} stored on multiple ranks")
+            seen.add(fid)
+            check(
+                el.location == rank,
+                f"element {fid} stored at rank {rank} claims location {el.location}",
+            )
+            check(
+                el.forest_id == fid,
+                f"element stored under {fid} is labeled {el.forest_id}",
+            )
+            node = hat.nodes_by_path.get(fid)
+            check(
+                node is not None and node.is_hat_leaf,
+                f"stored element {fid} is not a hat leaf",
+            )
+
+    return ValidationReport(ok=not failures, failures=failures, checks_run=checks)

@@ -1,0 +1,127 @@
+"""Extended corruption matrix for the structural validator.
+
+The seed suite (test_validate.py) corrupts an aggregate, a location, an
+index, and drops an element.  Here every other field the validator
+guards is corrupted one at a time: hat-leaf counts, segment unions,
+descendant pointers, group ranks, stale hat-leaf aggregates, mislabeled
+forest roots, and cross-rank duplicates — each must be caught, and the
+failure summary must say so.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dist import DistributedRangeTree, validate_tree
+from repro.workloads import uniform_points
+
+
+@pytest.fixture
+def tree():
+    return DistributedRangeTree.build(uniform_points(64, 2, seed=120), p=4)
+
+
+def _first_internal(tree, dim):
+    for v in tree.hat.iter_nodes():
+        if v.dim == dim and not v.is_hat_leaf:
+            return v
+    raise AssertionError("no internal node found")
+
+
+class TestCorruptHat:
+    def test_detects_bad_leaf_count(self, tree):
+        v = _first_internal(tree, 0)
+        v.nleaves += 4
+        rep = validate_tree(tree)
+        assert not rep.ok
+        assert any("leaf count" in f for f in rep.failures)
+
+    def test_detects_broken_segment_union(self, tree):
+        v = _first_internal(tree, 0)
+        v.lo = v.left.lo + 1  # no longer the union of its children
+        rep = validate_tree(tree)
+        assert not rep.ok
+        assert any("union of children" in f for f in rep.failures)
+
+    def test_detects_swapped_descendant(self, tree):
+        internals = [
+            v
+            for v in tree.hat.iter_nodes()
+            if v.dim == 0 and not v.is_hat_leaf and v.nleaves == 32
+        ]
+        a, b = internals[0], internals[1]
+        a.descendant, b.descendant = b.descendant, a.descendant
+        rep = validate_tree(tree)
+        assert not rep.ok
+        assert any("descendant" in f for f in rep.failures)
+
+    def test_detects_earlier_dimension_aggregate(self, tree):
+        """f(v) must be validated on every dimension, not just the last."""
+        v = _first_internal(tree, 0)
+        v.agg = v.agg + 1
+        rep = validate_tree(tree)
+        assert not rep.ok
+        assert any("aggregate" in f for f in rep.failures)
+
+    def test_detects_stale_hat_leaf_aggregate(self, tree):
+        leaf = tree.hat.hat_leaves()[0]
+        leaf.agg = leaf.agg + 1
+        rep = validate_tree(tree)
+        assert not rep.ok
+        assert any("stale" in f or "aggregate" in f for f in rep.failures)
+
+    def test_summary_reports_failure(self, tree):
+        leaf = tree.hat.hat_leaves()[0]
+        leaf.agg = leaf.agg + 1
+        rep = validate_tree(tree)
+        text = rep.summary()
+        assert text.startswith("validation: FAILED")
+        assert "checks" in text
+
+
+class TestMislabeledForest:
+    def test_detects_swapped_forest_roots(self, tree):
+        """Two elements filed under each other's names (same sizes, wrong segs)."""
+        store = tree.forest_store[0]
+        fids = [fid for fid, el in store.items() if el.dim == 1]
+        assert len(fids) >= 2
+        a, b = fids[0], fids[1]
+        store[a], store[b] = store[b], store[a]
+        rep = validate_tree(tree)
+        assert not rep.ok
+        assert any("labeled" in f or "disagrees" in f for f in rep.failures)
+
+    def test_detects_bad_group_rank(self, tree):
+        el = next(iter(tree.forest_store[2].values()))
+        el.group_rank += 1  # now violates group_rank mod p == location
+        rep = validate_tree(tree)
+        assert not rep.ok
+        assert any("group-to-processor" in f for f in rep.failures)
+
+    def test_detects_cross_rank_duplicate(self, tree):
+        fid, el = next(iter(tree.forest_store[0].items()))
+        tree.forest_store[1][fid] = el
+        rep = validate_tree(tree)
+        assert not rep.ok
+        assert any("multiple ranks" in f for f in rep.failures)
+
+    def test_detects_foreign_element(self, tree):
+        """An element filed under a name that is not a hat leaf at all."""
+        store = tree.forest_store[3]
+        fid, el = next(iter(store.items()))
+        store.pop(fid)
+        store[((9999, 0),)] = el
+        rep = validate_tree(tree)
+        assert not rep.ok
+        assert any("not a hat leaf" in f for f in rep.failures)
+
+
+class TestReportShape:
+    def test_checks_run_monotonic_in_structure(self):
+        small = DistributedRangeTree.build(uniform_points(32, 2, seed=121), p=2)
+        large = DistributedRangeTree.build(uniform_points(128, 2, seed=122), p=8)
+        assert validate_tree(large).checks_run > validate_tree(small).checks_run
+
+    def test_failures_empty_on_ok(self, tree):
+        rep = validate_tree(tree)
+        assert rep.ok and rep.failures == [] and rep.checks_run > 0
