@@ -1,0 +1,92 @@
+"""Query-engine benchmark: mixed-mode batch vs the three single-mode batches.
+
+Measures wall-clock and communication rounds for one mixed
+count/report/aggregate batch against the equivalent single-mode batches,
+and writes ``BENCH_query_engine.json`` at the repo root to seed the perf
+trajectory.  The headline claim: the mixed batch runs ONE Algorithm
+Search pass, so its round count never exceeds the worst single-mode
+batch — and its wall-clock beats running the three single-mode batches
+back to back.
+
+Run under the bench harness (``pytest benchmarks/ --benchmark-only -s``)
+or standalone (``PYTHONPATH=src python benchmarks/bench_query_engine.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.dist import DistributedRangeTree
+from repro.query import QueryBatch, aggregate, count, report
+from repro.semigroup import sum_of_dim
+from repro.workloads import selectivity_queries, uniform_points
+
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_query_engine.json"
+
+N, D, P, M, SEL = 2048, 2, 8, 1024, 0.01
+
+
+def _mixed(boxes) -> QueryBatch:
+    cycle = [count, report, lambda b: aggregate(b, sum_of_dim(0))]
+    return QueryBatch([cycle[i % 3](b) for i, b in enumerate(boxes)])
+
+
+def _timed_run(pts, batch) -> dict:
+    tree = DistributedRangeTree.build(pts, p=P)
+    tree.reset_metrics()
+    t0 = time.perf_counter()
+    rs = tree.run(batch)
+    dt = time.perf_counter() - t0
+    return {
+        "wall_seconds": round(dt, 4),
+        "rounds": rs.rounds,
+        "max_h": rs.max_h,
+        "max_work": rs.metrics.max_work,
+        "phase_sequence": rs.metrics.phase_sequence(),
+    }
+
+
+def run_bench() -> dict:
+    pts = uniform_points(N, D, seed=5)
+    boxes = selectivity_queries(M, D, seed=6, selectivity=SEL)
+
+    results = {
+        "config": {"n": N, "d": D, "p": P, "m": M, "selectivity": SEL},
+        "mixed": _timed_run(pts, _mixed(boxes)),
+        "single_mode": {
+            "count": _timed_run(pts, QueryBatch([count(b) for b in boxes])),
+            "report": _timed_run(pts, QueryBatch([report(b) for b in boxes])),
+            "aggregate": _timed_run(
+                pts, QueryBatch([aggregate(b, sum_of_dim(0)) for b in boxes])
+            ),
+        },
+    }
+    singles = results["single_mode"]
+    results["summary"] = {
+        "mixed_rounds": results["mixed"]["rounds"],
+        "max_single_mode_rounds": max(s["rounds"] for s in singles.values()),
+        "sum_single_mode_seconds": round(
+            sum(s["wall_seconds"] for s in singles.values()), 4
+        ),
+        "mixed_seconds": results["mixed"]["wall_seconds"],
+    }
+    OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def test_query_engine_bench(benchmark):
+    from conftest import run_once
+
+    results = run_once(benchmark, run_bench)
+    summary = results["summary"]
+    print(f"\nwrote {OUTPUT.name}: {json.dumps(summary, indent=2)}")
+    assert summary["mixed_rounds"] <= summary["max_single_mode_rounds"]
+    assert results["mixed"]["phase_sequence"].count("search") == 1
+
+
+if __name__ == "__main__":
+    results = run_bench()
+    print(json.dumps(results["summary"], indent=2))
+    print(f"wrote {OUTPUT}")

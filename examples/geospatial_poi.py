@@ -15,7 +15,7 @@ Run:  python examples/geospatial_poi.py
 
 import numpy as np
 
-from repro import Box, DistributedRangeTree
+from repro import Box, DistributedRangeTree, count, report
 from repro.workloads import clustered_points
 
 P = 8
@@ -47,7 +47,7 @@ def main() -> None:
 
     # frame 1: how many POIs per viewport (cheap: associative count)
     tree.reset_metrics()
-    counts = tree.batch_count(viewports)
+    counts = tree.run([count(v) for v in viewports]).values()
     m = tree.metrics
     print(f"\n{len(viewports)} viewport counts in {m.rounds} rounds, "
           f"max h-relation {m.max_h}")
@@ -63,7 +63,7 @@ def main() -> None:
     # frame 2: actually fetch the POI ids for the 50 busiest viewports
     busiest = sorted(range(len(counts)), key=lambda i: -counts[i])[:50]
     tree.reset_metrics()
-    hits = tree.batch_report([viewports[i] for i in busiest])
+    hits = tree.run([report(viewports[i]) for i in busiest]).values()
     k = sum(len(h) for h in hits)
     print(f"\nreport mode for the 50 busiest viewports: {k} (viewport, POI) pairs "
           f"in {tree.metrics.rounds} rounds")

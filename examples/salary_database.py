@@ -16,7 +16,7 @@ import math
 
 import numpy as np
 
-from repro import Box, DistributedRangeTree, PointSet
+from repro import Box, DistributedRangeTree, PointSet, aggregate
 from repro.semigroup import moments_of_dim
 
 P = 8
@@ -49,7 +49,7 @@ def main() -> None:
             labels.append(f"age {lo_age}-{hi_age}, tenure {lo_ten}-{hi_ten}")
 
     tree.reset_metrics()
-    stats = tree.batch_aggregate(questions)
+    stats = tree.run([aggregate(q) for q in questions]).values()
     print(f"\nanswered {len(questions)} statistics queries in "
           f"{tree.metrics.rounds} communication rounds\n")
     print(f"{'cohort':32} {'count':>6} {'mean salary':>12} {'stddev':>10}")

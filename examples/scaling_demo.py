@@ -9,7 +9,7 @@ not move at all), and the largest h-relation (should track s/p).
 Run:  python examples/scaling_demo.py
 """
 
-from repro import DistributedRangeTree
+from repro import DistributedRangeTree, count
 from repro.workloads import selectivity_queries, uniform_points
 
 N, D = 2048, 2
@@ -29,7 +29,7 @@ def main() -> None:
         tree = DistributedRangeTree.build(points, p=p)
         build = tree.metrics.summary()
         tree.reset_metrics()
-        tree.batch_count(queries)
+        tree.run([count(q) for q in queries])
         search = tree.metrics.summary()
 
         total = build["max_work"] + search["max_work"]

@@ -44,6 +44,33 @@ def main() -> int:
             failures.append(f"{name}: {type(exc).__name__}: {exc}")
     print(f"imported {len(names)} modules, {len(failures)} failures")
 
+    # Exercise the unified query layer end to end: a tiny mixed-mode
+    # batch over a plain-coordinate build must match the brute force.
+    try:
+        from repro import DistributedRangeTree
+        from repro.query import QueryBatch, aggregate, count, report
+        from repro.seq import bf_count, bf_report
+        from repro.geometry import PointSet
+
+        coords = [(0.1, 0.8), (0.4, 0.3), (0.6, 0.6), (0.9, 0.2)]
+        tree = DistributedRangeTree.build(coords, p=2)
+        box = ((0.0, 0.7), (0.0, 1.0))
+        rs = tree.run(QueryBatch([count(box), report(box), aggregate(box)]))
+        pts = PointSet(coords)
+        from repro.query import as_box
+
+        expected = [bf_count(pts, as_box(box)), bf_report(pts, as_box(box))]
+        if rs.values()[:2] != expected or rs.value(2) != expected[0]:
+            failures.append(f"repro.query mixed batch wrong: {rs.values()}")
+        elif rs.metrics.phase_sequence().count("search") != 1:
+            failures.append(
+                f"repro.query did not run one search pass: {rs.metrics.phase_sequence()}"
+            )
+        else:
+            print(f"repro.query mixed batch: OK ({rs.rounds} rounds)")
+    except Exception as exc:  # noqa: BLE001 - the smoke gate reports, not raises
+        failures.append(f"repro.query exercise: {type(exc).__name__}: {exc}")
+
     env = dict(os.environ)
     env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.run(

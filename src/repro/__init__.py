@@ -10,6 +10,9 @@ Sequential trees:   :class:`SequentialRangeTree`, :class:`LayeredSequentialRange
 Semigroups:         :data:`COUNT`, :func:`sum_of_dim`, ...
 CGM machine:        :class:`repro.cgm.Machine`
 Distributed tree:   :class:`repro.dist.DistributedRangeTree`
+Query layer:        :mod:`repro.query` — :class:`Query`, :class:`QueryBatch`,
+                    :func:`count`/:func:`report`/:func:`aggregate`,
+                    :class:`ResultSet`
 Workloads:          :mod:`repro.workloads`
 """
 
@@ -48,8 +51,17 @@ from .seq import (
 )
 from .cgm import CostModel, Machine
 from .dist import DistributedRangeTree
+from .query import (
+    Query,
+    QueryBatch,
+    QueryEngine,
+    ResultSet,
+    aggregate,
+    count,
+    report,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -91,4 +103,12 @@ __all__ = [
     "Machine",
     "CostModel",
     "DistributedRangeTree",
+    # the unified query layer
+    "Query",
+    "QueryBatch",
+    "QueryEngine",
+    "ResultSet",
+    "count",
+    "report",
+    "aggregate",
 ]

@@ -78,6 +78,8 @@ def run_sq1(n: int = 1024, p: int = 8) -> Table:
         f"SQ1 — single query on p={p} processors (n={n}, d=2)",
         ["query shape", "subqueries", "procs touched", "rounds", "count ok"],
     )
+    from ..query import count
+
     pts = uniform_points(n, 2, seed=33)
     tree = DistributedRangeTree.build(pts, p=p)
     shapes = [
@@ -90,7 +92,7 @@ def run_sq1(n: int = 1024, p: int = 8) -> Table:
         tree.reset_metrics()
         out = tree.search([q])
         touched = sum(1 for c in out.subqueries_per_proc if c > 0)
-        ok = tree.query_count(q) == bf_count(pts, q)
+        ok = tree.run(count(q)).value(0) == bf_count(pts, q)
         t.add_row(name, out.total_subqueries, touched, tree.metrics.rounds, "yes" if ok else "NO")
     t.add_note("Section 6 leaves single-query speedup open; the batched machinery still")
     t.add_note("fans one query's forest continuations across owners (no replication needed)")

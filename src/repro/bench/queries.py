@@ -59,12 +59,15 @@ def run_a1(n: int = 1024, d: int = 2, p: int = 8) -> Table:
     pts = uniform_points(n, d, seed=7)
     qs = selectivity_queries(n, d, seed=8, selectivity=0.01)
 
+    from ..query import aggregate, count
+
     for mode, sg in (("count", None), ("sum[x0]", sum_of_dim(0))):
         kw = {} if sg is None else {"semigroup": sg}
         tree = DistributedRangeTree.build(pts, p=p, **kw)
         tree.reset_metrics()
         t0 = time.perf_counter()
-        got = tree.batch_count(qs) if sg is None else tree.batch_aggregate(qs)
+        batch = [count(q) for q in qs] if sg is None else [aggregate(q) for q in qs]
+        got = tree.run(batch).values()
         dt = time.perf_counter() - t0
         # sequential comparator on a subsample
         seq = SequentialRangeTree(pts, semigroup=sg) if sg else SequentialRangeTree(pts)

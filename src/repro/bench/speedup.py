@@ -34,12 +34,14 @@ def run_sp1(n: int = 2048, d: int = 2) -> Table:
         ["p", "work term", "rounds"]
         + [f"speedup ({name})" for name, _c in MACHINES],
     )
+    from ..query import count
+
     pts = uniform_points(n, d, seed=40)
     qs = selectivity_queries(n, d, seed=41, selectivity=0.01)
     base: dict[str, float] = {}
     for p in (1, 2, 4, 8, 16):
         tree = DistributedRangeTree.build(pts, p=p)
-        tree.batch_count(qs)
+        tree.run([count(q) for q in qs])
         metrics = tree.metrics
         row = [p, metrics.max_work, metrics.rounds]
         for name, cost in MACHINES:

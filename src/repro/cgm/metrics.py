@@ -19,10 +19,20 @@ from typing import Iterator
 
 from .cost import CostModel
 
-__all__ = ["StepRecord", "Metrics"]
+__all__ = ["StepRecord", "Metrics", "phase_of"]
 
 KIND_COMPUTE = "compute"
 KIND_COMM = "comm"
+
+
+def phase_of(label: str) -> str:
+    """The phase a step label belongs to: the prefix before the first ``:``.
+
+    Every algorithm labels its supersteps ``phase:step`` (``search:walk``,
+    ``query:demux:sort``, ``construct:route``); the phase prefix is the
+    attribution unit the query layer reports per batch.
+    """
+    return label.split(":", 1)[0]
 
 
 @dataclass(frozen=True)
@@ -38,6 +48,11 @@ class StepRecord:
     #: per-processor records sent / received (comm) — empty for compute
     sent: tuple[int, ...] = ()
     received: tuple[int, ...] = ()
+
+    @property
+    def phase(self) -> str:
+        """Phase attribution of this step (see :func:`phase_of`)."""
+        return phase_of(self.label)
 
     @property
     def h(self) -> int:
@@ -148,6 +163,37 @@ class Metrics:
             "total_work": self.total_work,
             "critical_seconds": round(self.critical_seconds, 6),
         }
+
+    # -- phase attribution ---------------------------------------------------
+    def phase_sequence(self) -> list[str]:
+        """Run-length-compressed phase prefixes, in execution order.
+
+        ``["search", "query"]`` means one contiguous ``search:*`` step
+        sequence followed by one ``query:*`` sequence — the observable
+        behind "a mixed batch runs a *single* Algorithm Search pass":
+        the sequence contains ``"search"`` exactly once.
+        """
+        seq: list[str] = []
+        for s in self.steps:
+            ph = s.phase
+            if not seq or seq[-1] != ph:
+                seq.append(ph)
+        return seq
+
+    def by_phase(self) -> dict[str, "Metrics"]:
+        """Steps grouped into per-phase sub-traces, insertion-ordered."""
+        groups: dict[str, Metrics] = {}
+        for s in self.steps:
+            groups.setdefault(s.phase, Metrics()).steps.append(s)
+        return groups
+
+    def phase_summary(self) -> dict[str, dict]:
+        """Per-phase rounds / h / work attribution (flat, table-ready)."""
+        return {ph: m.summary() for ph, m in self.by_phase().items()}
+
+    def rounds_in_phase(self, phase: str) -> int:
+        """Communication rounds attributed to one phase prefix."""
+        return sum(1 for s in self.comm_steps() if s.phase == phase)
 
     def snapshot(self) -> "Metrics":
         """Copy of the current trace (for before/after diffs)."""

@@ -11,6 +11,9 @@ Three subcommands::
                              --queries selectivity --m 512 --mode count
         Build a distributed tree over a synthetic workload and answer a
         query batch, printing answers (truncated) and machine metrics.
+        ``--mode mixed`` cycles count/report/aggregate descriptors
+        through the repro.query planner (one search pass for all three);
+        ``--json`` emits the structured ResultSet instead of text.
 
     repro-range-search demo
         The quickstart walkthrough.
@@ -50,12 +53,20 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--selectivity", type=float, default=0.01)
     q.add_argument("--seed", type=int, default=0)
     q.add_argument(
-        "--mode", choices=["count", "report", "aggregate"], default="count"
+        "--mode",
+        choices=["count", "report", "aggregate", "mixed"],
+        default="count",
+        help="output mode; 'mixed' cycles count/report/aggregate through one planned pass",
     )
     q.add_argument("--backend", choices=["serial", "thread"], default="serial")
     q.add_argument("--verify", action="store_true", help="check against brute force")
     q.add_argument("--trace", action="store_true", help="print the superstep timeline")
     q.add_argument("--validate", action="store_true", help="run the structural validator")
+    q.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the ResultSet as machine-readable JSON on stdout",
+    )
 
     sub.add_parser("demo", help="run the quickstart walkthrough")
     return ap
@@ -91,9 +102,42 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_batch(mode: str, queries) -> "object":
+    """The CLI's query batch: one descriptor per box, mixed cycles modes."""
+    from .query import QueryBatch, aggregate, count, report
+
+    makers = {"count": count, "report": report, "aggregate": aggregate}
+    if mode == "mixed":
+        cycle = [count, report, aggregate]
+        return QueryBatch([cycle[i % 3](q) for i, q in enumerate(queries)])
+    return QueryBatch([makers[mode](q) for q in queries])
+
+
+def _verify_results(results, points) -> bool:
+    from .seq import bf_aggregate, bf_count, bf_report
+
+    for r in results:
+        if r.mode == "count":
+            ok = r.value == bf_count(points, r.query.box)
+        elif r.mode == "report":
+            ok = r.value == bf_report(points, r.query.box)
+        elif r.mode == "aggregate":
+            sg = r.query.semigroup
+            if sg is None:
+                ok = r.value == bf_count(points, r.query.box)
+            else:
+                ok = r.value == bf_aggregate(points, r.query.box, sg)
+        else:
+            ok = True  # no oracle registered for plug-in modes
+        if not ok:
+            return False
+    return True
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    import json as _json
+
     from .dist import DistributedRangeTree
-    from .seq import bf_count, bf_report
     from .workloads import make_points, make_queries
 
     points = make_points(args.points, args.n, args.d, seed=args.seed)
@@ -105,41 +149,40 @@ def _cmd_query(args: argparse.Namespace) -> int:
         queries = make_queries(args.queries, args.m, args.d, seed=args.seed + 1)
 
     tree = DistributedRangeTree.build(points, p=args.p, backend=args.backend)
-    print(f"built {tree}: {tree.space_report()}")
+    if not args.json:
+        print(f"built {tree}: {tree.space_report()}")
     tree.reset_metrics()
 
-    if args.mode == "count":
-        answers = tree.batch_count(queries)
-        preview = answers[:10]
-    elif args.mode == "report":
-        answers = tree.batch_report(queries)
-        preview = [len(a) for a in answers[:10]]
+    rs = tree.run(_make_batch(args.mode, queries))
+    # With --json, stdout carries exactly one JSON document; every other
+    # diagnostic (trace, validation, verification) goes to stderr so the
+    # machine-readable contract survives any flag combination.
+    diag = sys.stderr if args.json else sys.stdout
+    if args.json:
+        print(_json.dumps(rs.to_dict(), indent=2, sort_keys=True))
     else:
-        answers = tree.batch_aggregate(queries)
-        preview = answers[:10]
-    print(f"{args.mode} answers (first 10): {preview}")
-    print(f"metrics: {tree.metrics.summary()}")
+        preview = [
+            len(r.value) if r.mode == "report" else r.value for r in rs[:10]
+        ]
+        print(f"{args.mode} answers (first 10): {preview}")
+        print(f"metrics: {rs.metrics.summary()}")
+        print(f"phases: {rs.metrics.phase_sequence()}")
 
     if args.trace:
         from .cgm.trace import render_trace
 
-        print(render_trace(tree.metrics, tree.machine.cost))
+        print(render_trace(tree.metrics, tree.machine.cost), file=diag)
     if args.validate:
         from .dist.validate import validate_tree
 
         rep = validate_tree(tree)
-        print(rep.summary())
+        print(rep.summary(), file=diag)
         if not rep.ok:
             return 1
 
     if args.verify:
-        if args.mode == "report":
-            ok = all(a == bf_report(points, q) for a, q in zip(answers, queries))
-        else:
-            ok = all(
-                a == bf_count(points, q) for a, q in zip(answers, queries)
-            ) if args.mode == "count" else True
-        print(f"verification: {'OK' if ok else 'FAILED'}")
+        ok = _verify_results(rs, points)
+        print(f"verification: {'OK' if ok else 'FAILED'}", file=diag)
         if not ok:
             return 1
     tree.machine.close()

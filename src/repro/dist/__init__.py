@@ -11,18 +11,25 @@ batches of ``m = O(n)`` with O(1) rounds per batch (Theorems 3-5,
 :mod:`repro.dist.search` and :mod:`repro.dist.modes`).
 
 :class:`DistributedRangeTree` is the user-facing facade tying the layers
-together::
+together; queries go through the unified :mod:`repro.query` layer::
 
-    from repro import Box, DistributedRangeTree
+    from repro import DistributedRangeTree
+    from repro.query import count, report
     from repro.workloads import uniform_points, selectivity_queries
 
     tree = DistributedRangeTree.build(uniform_points(2048, 2, seed=0), p=8)
-    counts = tree.batch_count(selectivity_queries(512, 2, seed=1))
+    rs = tree.run([count(b) for b in selectivity_queries(512, 2, seed=1)])
+    counts = rs.values()
+
+The pre-1.1 per-mode calls (``batch_count``/``batch_report``/
+``batch_aggregate`` and their ``query_*`` singles) still work but are
+deprecated thin wrappers over :meth:`DistributedRangeTree.run`.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence
+import warnings
+from typing import Any, Iterable, List, Sequence
 
 from .._util import require_power_of_two
 from ..cgm.collectives import alltoall_broadcast
@@ -36,7 +43,7 @@ from .construct import ConstructResult, construct_distributed_tree
 from .forest import ForestElement, build_forest_element
 from .hat import Hat, HatNode
 from .labeling import is_valid_path
-from .modes import batched_counts, batched_report_pairs, fold_by_query
+from .modes import batched_counts, batched_report_pairs, fold_by_query, fold_pieces
 from .records import ForestRootInfo, HatSelectionRecord, SRecord, Subquery
 from .search import SearchOutput, run_search
 from .validate import ValidationReport, validate_tree
@@ -51,6 +58,7 @@ __all__ = [
     "HatNode",
     "SearchOutput",
     "run_search",
+    "fold_pieces",
     "fold_by_query",
     "batched_counts",
     "batched_report_pairs",
@@ -64,16 +72,32 @@ __all__ = [
 ]
 
 
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"DistributedRangeTree.{old} is deprecated; use {new} "
+        "(the repro.query layer — see docs/ARCHITECTURE.md, 'Query layer')",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class DistributedRangeTree:
     """Facade over the distributed range tree's full life cycle.
 
-    Build with :meth:`build`; query with :meth:`batch_count`,
-    :meth:`batch_report`, :meth:`batch_aggregate` (or their single-query
-    twins); change the aggregate function in place with
-    :meth:`reannotate`; inspect the machine's superstep trace through
-    :attr:`metrics`.  All communication happens on the attached
+    Build with :meth:`build`; query by handing a (mixed-mode)
+    :class:`~repro.query.QueryBatch` — or a plain list of
+    :mod:`repro.query` descriptors — to :meth:`run`; change the
+    aggregate function in place with :meth:`reannotate`; inspect the
+    machine's superstep trace through :attr:`metrics`.  All
+    communication happens on the attached
     :class:`~repro.cgm.machine.Machine`, so every theorem-level claim
     (rounds, h-relations, per-processor work) is measurable.
+
+    ``semigroup`` is the user-declared aggregate (``f``); the tree's
+    *annotation* may temporarily widen to a
+    :class:`~repro.semigroup.ProductSemigroup` when the query engine
+    lazily refits extra per-query semigroups — :attr:`base_semigroup`
+    always names the declared one.
     """
 
     def __init__(
@@ -88,9 +112,11 @@ class DistributedRangeTree:
         self.ranked = ranked
         self.machine = machine
         self.semigroup = semigroup
+        self.base_semigroup = semigroup
         self.construct_result = construct_result
         self.hat = construct_result.hat
         self.forest_store = construct_result.forest_store
+        self._engine = None
 
     # ------------------------------------------------------------------
     # construction (Algorithm Construct, Theorem 2)
@@ -98,7 +124,7 @@ class DistributedRangeTree:
     @classmethod
     def build(
         cls,
-        points: PointSet,
+        points: "PointSet | Iterable[Sequence[float]]",
         p: int | None = None,
         machine: Machine | None = None,
         backend: str = "serial",
@@ -108,11 +134,17 @@ class DistributedRangeTree:
     ) -> "DistributedRangeTree":
         """Build the tree over ``points`` on ``p`` virtual processors.
 
-        Pass an existing ``machine`` to reuse it (its ``p`` wins); both
-        paths require a power-of-two processor count.  Points are
-        rank-normalised and padded so that ``n`` is a power of two and
-        ``n >= p`` (§3's "without loss of generality" assumptions).
+        ``points`` may be a :class:`~repro.geometry.point.PointSet` or
+        any plain coordinate collection it accepts — a list of tuples, a
+        numpy ``(n, d)`` array — so the quickstart needs no workload
+        helpers.  Pass an existing ``machine`` to reuse it (its ``p``
+        wins); both paths require a power-of-two processor count.
+        Points are rank-normalised and padded so that ``n`` is a power
+        of two and ``n >= p`` (§3's "without loss of generality"
+        assumptions).
         """
+        if not isinstance(points, PointSet):
+            points = PointSet(points)
         if machine is None:
             if p is None:
                 p = 4
@@ -177,8 +209,27 @@ class DistributedRangeTree:
         }
 
     # ------------------------------------------------------------------
-    # Algorithm Search + output modes (Theorems 3-5)
+    # the unified query layer (Theorems 3-5 through repro.query)
     # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        """The :class:`~repro.query.QueryEngine` bound to this tree."""
+        if self._engine is None:
+            from ..query.engine import QueryEngine
+
+            self._engine = QueryEngine(self)
+        return self._engine
+
+    def run(self, batch, replication: str | None = None):
+        """Answer a (mixed-mode) batch in one Algorithm Search pass.
+
+        ``batch`` is a :class:`~repro.query.QueryBatch`, a sequence of
+        :class:`~repro.query.Query` descriptors, or a single descriptor;
+        returns a :class:`~repro.query.ResultSet` with answers in batch
+        order plus the pass's superstep metrics.
+        """
+        return self.engine.run(batch, replication=replication)
+
     def search(
         self,
         boxes: Sequence[Box],
@@ -196,61 +247,63 @@ class DistributedRangeTree:
             replication=replication,
         )
 
+    # ------------------------------------------------------------------
+    # deprecated pre-1.1 per-mode calls (thin wrappers over run())
+    # ------------------------------------------------------------------
     def batch_count(
         self, boxes: Sequence[Box], replication: str = "doubling"
     ) -> List[int]:
-        """Counting mode: matching-point counts, one per query."""
-        out = self.search(boxes, replication=replication)
-        folded = batched_counts(self.machine, out)
-        results = [0] * len(boxes)
-        for per_proc in folded:
-            for qid, value in per_proc:
-                results[qid] = value
-        return results
+        """Deprecated: use ``run([repro.query.count(box), ...])``."""
+        from ..query import QueryBatch, count
+
+        _deprecated("batch_count", "run([repro.query.count(box), ...])")
+        return self.run(
+            QueryBatch([count(b) for b in boxes], replication=replication)
+        ).values()
 
     def batch_report(
         self, boxes: Sequence[Box], replication: str = "doubling"
     ) -> List[List[int]]:
-        """Report mode: sorted matching point ids, one list per query."""
-        out = self.search(boxes, collect_leaves=True, replication=replication)
-        pairs = batched_report_pairs(self.machine, out)
-        results: List[List[int]] = [[] for _ in boxes]
-        for per_proc in pairs:
-            for qid, pid in per_proc:
-                results[qid].append(pid)
-        for ids in results:
-            ids.sort()
-        return results
+        """Deprecated: use ``run([repro.query.report(box), ...])``."""
+        from ..query import QueryBatch, report
+
+        _deprecated("batch_report", "run([repro.query.report(box), ...])")
+        return self.run(
+            QueryBatch([report(b) for b in boxes], replication=replication)
+        ).values()
 
     def batch_aggregate(
         self, boxes: Sequence[Box], replication: str = "doubling"
     ) -> List[Any]:
-        """Associative-function mode: ``⊕ f(point)`` per query."""
-        out = self.search(boxes, replication=replication)
-        folded = fold_by_query(
-            self.machine,
-            out,
-            hat_value=lambda h: h.agg,
-            forest_value=lambda f: f.agg,
-            op=self.semigroup.combine,
-            zero=self.semigroup.identity,
-            label="aggregate",
-        )
-        results: List[Any] = [self.semigroup.identity] * len(boxes)
-        for per_proc in folded:
-            for qid, value in per_proc:
-                results[qid] = value
-        return results
+        """Deprecated: use ``run([repro.query.aggregate(box), ...])``."""
+        from ..query import QueryBatch, aggregate
+
+        _deprecated("batch_aggregate", "run([repro.query.aggregate(box), ...])")
+        return self.run(
+            QueryBatch([aggregate(b) for b in boxes], replication=replication)
+        ).values()
 
     # Single-query conveniences (§6 discusses the single-query regime).
     def query_count(self, box: Box) -> int:
-        return self.batch_count([box])[0]
+        """Deprecated: use ``run(repro.query.count(box)).value(0)``."""
+        from ..query import count
+
+        _deprecated("query_count", "run(repro.query.count(box)).value(0)")
+        return self.run(count(box)).value(0)
 
     def query_report(self, box: Box) -> List[int]:
-        return self.batch_report([box])[0]
+        """Deprecated: use ``run(repro.query.report(box)).value(0)``."""
+        from ..query import report
+
+        _deprecated("query_report", "run(repro.query.report(box)).value(0)")
+        return self.run(report(box)).value(0)
 
     def query_aggregate(self, box: Box) -> Any:
-        return self.batch_aggregate([box])[0]
+        """Deprecated: use ``run(repro.query.aggregate(box)).value(0)``."""
+        from ..query import aggregate
+
+        _deprecated("query_aggregate", "run(repro.query.aggregate(box)).value(0)")
+        return self.run(aggregate(box)).value(0)
 
     # ------------------------------------------------------------------
     # re-annotation (Algorithm AssociativeFunction step 1)
@@ -260,8 +313,16 @@ class DistributedRangeTree:
 
         Refits every forest element's aggregates locally, then refreshes
         the hat with a single broadcast round (``reannotate:roots``) —
-        no sorting, no routing, O(s/p) local work.
+        no sorting, no routing, O(s/p) local work.  This is the declared
+        (:attr:`base_semigroup`) swap; the query engine performs the
+        same refit lazily — under ``query:refit:*`` labels — when a
+        batch folds semigroups the annotation lacks.
         """
+        self.base_semigroup = semigroup
+        self._refit(semigroup)
+
+    def _refit(self, semigroup: Semigroup, label: str = "reannotate") -> None:
+        """Re-annotate forest + hat with ``semigroup`` (one broadcast round)."""
         self.semigroup = semigroup
         values_by_pid: dict[int, Any] = {}
         for i in range(self.ranked.n):
@@ -282,9 +343,9 @@ class DistributedRangeTree:
                 ctx.charge(el.size_records)
             return infos
 
-        roots_local = self.machine.compute("reannotate:relabel", relabel)
+        roots_local = self.machine.compute(f"{label}:relabel", relabel)
         gathered = alltoall_broadcast(
-            self.machine, roots_local, label="reannotate:roots"
+            self.machine, roots_local, label=f"{label}:roots"
         )
 
         def refresh(ctx):
@@ -295,10 +356,10 @@ class DistributedRangeTree:
                 self.hat.refresh_aggregates(gathered[0], semigroup)
                 ctx.charge(self.hat.size_nodes())
 
-        self.machine.compute("reannotate:refresh-hat", refresh)
+        self.machine.compute(f"{label}:refresh-hat", refresh)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"DistributedRangeTree(n={self.n}, d={self.dim}, p={self.p}, "
-            f"semigroup={self.semigroup.name})"
+            f"semigroup={self.base_semigroup.name})"
         )

@@ -30,7 +30,34 @@ from ..cgm.machine import Machine
 from ..cgm.sort import sample_sort
 from .search import SearchOutput
 
-__all__ = ["fold_by_query", "batched_counts", "batched_report_pairs"]
+__all__ = [
+    "fold_pieces",
+    "fold_sorted_runs",
+    "fold_by_query",
+    "batched_counts",
+    "batched_report_pairs",
+]
+
+
+def fold_pieces(
+    mach: Machine,
+    pieces: List[List[Tuple[int, Any]]],
+    op: Callable[[Any, Any], Any],
+    zero: Any,
+    label: str = "fold",
+) -> List[List[Tuple[int, Any]]]:
+    """Sort ``(qid, value)`` pieces globally and fold each query's run.
+
+    The Theorem 4 pipeline with the piece *extraction* factored out: a
+    sample sort by query id (4 rounds) followed by the segmented
+    run-fold (1 all-gather round).  ``op`` must be commutative with
+    identity ``zero``.  The query engine runs the same two stages
+    separately (one shared sort for *all* modes of a mixed batch, then
+    :func:`fold_sorted_runs` over just the fold-family pieces), which is
+    what lets a mixed-mode batch finish in a single demultiplexing pass.
+    """
+    ordered = sample_sort(mach, pieces, key=lambda t: t[0], label=f"{label}:sort")
+    return fold_sorted_runs(mach, ordered, op, zero, label)
 
 
 def fold_by_query(
@@ -58,11 +85,10 @@ def fold_by_query(
         for f in out.forest_selections[r]:
             pieces[r].append((f.qid, forest_value(f)))
 
-    ordered = sample_sort(mach, pieces, key=lambda t: t[0], label=f"{label}:sort")
-    return _fold_sorted_runs(mach, ordered, op, zero, label)
+    return fold_pieces(mach, pieces, op, zero, label)
 
 
-def _fold_sorted_runs(
+def fold_sorted_runs(
     mach: Machine,
     ordered: List[List[Tuple[int, Any]]],
     op: Callable[[Any, Any], Any],

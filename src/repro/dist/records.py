@@ -19,6 +19,9 @@ message could not carry.
   element (Search steps 2-4 route and balance these).
 * :class:`ForestSelection` — a dimension-``d`` node selected inside a
   forest element by a subquery (Search step 5).
+* :class:`ExpandRequest` — a report-family query asking the owner of a
+  forest element to expand a hat selection into point ids; rides the
+  Search step-4 routing round so mixed-mode batches need no extra round.
 * :class:`ReportUnit` — a weighted chunk of report-mode output pairs
   (Theorem 5's ``O(k/p)`` balancing operates on these).
 """
@@ -36,6 +39,7 @@ __all__ = [
     "HatSelectionRecord",
     "Subquery",
     "ForestSelection",
+    "ExpandRequest",
     "ReportUnit",
 ]
 
@@ -129,6 +133,21 @@ class ForestSelection:
     def pids(self) -> Tuple[int, ...]:
         """Point ids below the selected node (may include negative sentinels)."""
         return self.pid_tuple
+
+
+@dataclass(frozen=True, slots=True)
+class ExpandRequest:
+    """Ask a forest element's owner for the point ids under a hat selection.
+
+    Emitted during the hat walk for queries whose output mode needs the
+    actual points (report family); routed to ``location`` — the element's
+    *owner*, which always keeps its store — in the same exchange as the
+    :class:`Subquery` records, so expansion adds no communication round.
+    """
+
+    qid: int
+    forest_id: Path
+    location: int
 
 
 @dataclass(frozen=True, slots=True)

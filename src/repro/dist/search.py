@@ -31,7 +31,7 @@ selections per query.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Collection, List, Sequence, Tuple
 
 from .._util import ilog2
 from ..cgm.collectives import allgather
@@ -45,9 +45,16 @@ from ..errors import ProtocolError
 from ..geometry.box import RankBox
 from ..seq.segment_tree import WalkStats
 from .hat import Hat
-from .records import ForestSelection, HatSelectionRecord, Subquery
+from .records import ExpandRequest, ForestSelection, HatSelectionRecord, Subquery
 
 __all__ = ["SearchOutput", "run_search"]
+
+
+def _wants(flag: "bool | Collection[int]", qid: int) -> bool:
+    """Interpret a per-batch bool or a per-query id set uniformly."""
+    if isinstance(flag, bool):
+        return flag
+    return qid in flag
 
 
 @dataclass
@@ -69,6 +76,9 @@ class SearchOutput:
     copy_counts: List[int] = field(default_factory=list)
     subqueries_per_proc: List[int] = field(default_factory=list)
     total_subqueries: int = 0
+    #: ``(qid, pid)`` pairs produced by in-pass hat-selection expansion
+    #: (``expand_qids``); empty unless the caller requested expansion.
+    report_pairs: List[List[Tuple[int, int]]] = field(default_factory=list)
 
 
 def run_search(
@@ -76,13 +86,25 @@ def run_search(
     hat: Hat,
     forest_store: Sequence[dict],
     rank_boxes: Sequence[RankBox],
-    collect_leaves: bool = False,
+    collect_leaves: "bool | Collection[int]" = False,
     replication: str = "doubling",
+    expand_qids: "Collection[int] | None" = None,
 ) -> SearchOutput:
-    """Execute Algorithm Search for a batch of rank-space queries."""
+    """Execute Algorithm Search for a batch of rank-space queries.
+
+    ``collect_leaves`` may be a bool (whole batch) or a set of query ids —
+    mixed-mode batches collect leaf tilings only for report-family
+    queries.  When ``expand_qids`` is given, hat selections of those
+    queries are additionally expanded into ``(qid, pid)`` pairs *inside*
+    the pass: the expansion requests ride the step-4 routing round to the
+    elements' owners and the owners expand them during the step-5 walk, so
+    report output costs no communication round beyond the pass itself
+    (``SearchOutput.report_pairs`` holds the results per rank).
+    """
     p = mach.p
     m = len(rank_boxes)
     chunk = -(-m // p) if m else 1
+    expand = frozenset(expand_qids) if expand_qids else frozenset()
 
     # -- step 1: hat walk over each processor's query block ----------------
     def walk(ctx):
@@ -91,7 +113,10 @@ def run_search(
         subqs: List[Subquery] = []
         for qid in range(r * chunk, min(m, (r + 1) * chunk)):
             s, q = hat.walk(
-                qid, rank_boxes[qid], collect_leaves=collect_leaves, charge=ctx.charge
+                qid,
+                rank_boxes[qid],
+                collect_leaves=_wants(collect_leaves, qid),
+                charge=ctx.charge,
             )
             sels.extend(s)
             subqs.extend(q)
@@ -136,15 +161,32 @@ def run_search(
         counter = [0] * p
         for sq in local_subqs[r]:
             outboxes[r][dest_for(r, sq, counter)].append(sq)
+        for h in hat_selections[r]:
+            if h.qid in expand:
+                for fid, loc in zip(h.forest_ids, h.locations):
+                    outboxes[r][loc].append(
+                        ExpandRequest(qid=h.qid, forest_id=fid, location=loc)
+                    )
     inboxes = mach.exchange("search:route-subqueries", outboxes)
-    subqueries_per_proc = [len(box) for box in inboxes]
+    subqueries_per_proc = [
+        sum(1 for rec in box if isinstance(rec, Subquery)) for box in inboxes
+    ]
 
     # -- step 5: resume the canonical walk inside the forest ---------------
     forest_selections: List[List[ForestSelection]] = [[] for _ in range(p)]
+    report_pairs: List[List[Tuple[int, int]]] = [[] for _ in range(p)]
 
     def process(ctx):
         r = ctx.rank
         for sq in inboxes[r]:
+            if isinstance(sq, ExpandRequest):
+                # Owners always keep their own store; expand in place.
+                el = forest_store[r][sq.forest_id]
+                report_pairs[r].extend(
+                    (sq.qid, pid) for pid in el.all_pids() if pid >= 0
+                )
+                ctx.charge(el.nleaves)
+                continue
             store = holders[r].get(sq.location)
             if store is None or sq.forest_id not in store:
                 raise ProtocolError(
@@ -175,6 +217,7 @@ def run_search(
         copy_counts=copy_counts,
         subqueries_per_proc=subqueries_per_proc,
         total_subqueries=total,
+        report_pairs=report_pairs,
     )
 
 

@@ -1,0 +1,287 @@
+"""The query engine: plan a mixed-mode batch, run ONE search pass, demux.
+
+This is the facade-over-engine split the public API is built on.  The
+engine turns a :class:`~repro.query.descriptors.QueryBatch` into:
+
+1. a **plan** — per-query :class:`~repro.query.modes.QuerySpec` demux
+   rules, the set of queries needing leaf collection/expansion, and the
+   annotation (semigroup) layers the pass requires;
+2. a lazy **annotation refit** when an aggregate-family query names a
+   semigroup the tree is not currently annotated with — a
+   ``reannotate``-style local refit plus one broadcast round, never a
+   sort or routing round, cached in the tree's annotation (a
+   :class:`~repro.semigroup.ProductSemigroup` keyed by component name);
+3. a single **Algorithm Search pass** over all boxes (one hat walk, one
+   demand round, one replication round-set, one routing round — §5);
+4. a single shared **demultiplexing fold**: every query's pieces —
+   counts, semigroup values, point ids — ride one sample sort and one
+   segmented run-fold (:func:`repro.dist.modes.fold_pieces`), with the
+   combine operation dispatched per query id;
+5. a :class:`~repro.query.result.ResultSet` carrying the answers in
+   batch order plus the pass's superstep trace.
+
+The round count of a mixed batch therefore equals that of a single-mode
+batch of the same size: modes share the pass instead of re-running it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..cgm.sort import sample_sort
+from ..dist.modes import fold_sorted_runs
+from ..dist.search import run_search
+from ..errors import DimensionMismatch
+from ..semigroup import ProductSemigroup, Semigroup, product_semigroup
+from .descriptors import Query, QueryBatch
+from .modes import QuerySpec, get_mode
+from .result import QueryResult, ResultSet
+
+__all__ = ["QueryEngine", "QueryPlan", "plan_batch"]
+
+#: Cap on annotation layers the lazy-refit cache keeps on a tree.  A
+#: long-lived tree serving many distinct per-query semigroups (say
+#: user-chosen top-k sizes) would otherwise grow its per-node aggregate
+#: tuples — and the cost of every future refit — without bound.  When
+#: the cap is hit, the oldest extra layers are evicted (the build-time
+#: semigroup is always kept; the current batch's needs always win, even
+#: past the cap).
+MAX_ANNOTATION_LAYERS = 8
+
+
+class QueryPlan:
+    """The resolved execution shape of one batch (inspectable, immutable).
+
+    ``specs[qid]`` is the demux rule for query ``qid``; ``leaf_qids``
+    are the queries that need hat-leaf collection and in-pass expansion
+    (report family); ``annotations`` lists the semigroups the pass folds
+    and ``refit_semigroup`` is the product the tree must be annotated
+    with first (``None`` when the current annotation already covers it).
+    """
+
+    def __init__(
+        self,
+        batch: QueryBatch,
+        specs: List[QuerySpec],
+        leaf_qids: frozenset,
+        annotations: List[Semigroup],
+        refit_semigroup: Semigroup | None,
+    ) -> None:
+        self.batch = batch
+        self.specs = specs
+        self.leaf_qids = leaf_qids
+        self.annotations = annotations
+        self.refit_semigroup = refit_semigroup
+
+    @property
+    def needs_refit(self) -> bool:
+        return self.refit_semigroup is not None
+
+    def mode_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for spec in self.specs:
+            counts[spec.mode.name] = counts.get(spec.mode.name, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryPlan(m={len(self.specs)}, modes={self.mode_counts()}, "
+            f"leaf_qids={len(self.leaf_qids)}, refit={self.needs_refit})"
+        )
+
+
+def _annotation_components(semigroup: Semigroup) -> List[Semigroup]:
+    """The annotation layers currently on the tree, outermost first."""
+    if isinstance(semigroup, ProductSemigroup):
+        return list(semigroup.components)
+    return [semigroup]
+
+
+class QueryEngine:
+    """Plans and executes query batches against one distributed tree."""
+
+    def __init__(self, tree) -> None:
+        self.tree = tree
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(self, batch: QueryBatch) -> QueryPlan:
+        """Resolve modes, annotation needs, and demux specs for ``batch``."""
+        tree = self.tree
+        base = tree.base_semigroup
+        current = _annotation_components(tree.semigroup)
+        current_names = [c.name for c in current]
+
+        needed: Dict[str, Semigroup] = {}
+        mode_of: List[Tuple[Query, Any, Semigroup | None]] = []
+        leaf_qids = set()
+        for qid, query in enumerate(batch):
+            if query.box.dim != tree.dim:
+                raise DimensionMismatch(tree.dim, query.box.dim, f"query {qid} box")
+            mode = get_mode(query.mode)
+            mode.validate(query, tree.dim)
+            sg = mode.required_semigroup(query, base)
+            if sg is not None and sg.name not in needed:
+                needed[sg.name] = sg
+            mode_of.append((query, mode, sg))
+            if mode.needs_leaves:
+                leaf_qids.add(qid)
+
+        missing = [sg for name, sg in needed.items() if name not in current_names]
+        refit: Semigroup | None = None
+        if missing:
+            merged = current + missing
+            if len(merged) > MAX_ANNOTATION_LAYERS:
+                # Evict oldest extra layers: keep the build-time layer,
+                # everything this batch needs, then the newest others.
+                keep = [merged[0]]
+                keep += [c for c in merged[1:] if c.name in needed]
+                kept = {c.name for c in keep}
+                for c in reversed(merged[1:]):
+                    if len(keep) >= MAX_ANNOTATION_LAYERS:
+                        break
+                    if c.name not in kept:
+                        keep.append(c)
+                        kept.add(c.name)
+                merged = keep
+            refit = product_semigroup(merged)
+
+        # Demux specs are built against the annotation the pass will see.
+        final = _annotation_components(refit if refit is not None else tree.semigroup)
+        final_names = [c.name for c in final]
+        product = len(final) > 1
+
+        specs: List[QuerySpec] = []
+        for qid, (query, mode, sg) in enumerate(mode_of):
+            if sg is None:
+                extract = lambda agg: agg
+            elif product:
+                slot = final_names.index(sg.name)
+                extract = lambda agg, _i=slot: agg[_i]
+            else:
+                extract = lambda agg: agg
+            specs.append(mode.spec(query, qid, sg, extract))
+        return QueryPlan(batch, specs, frozenset(leaf_qids), final, refit)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, batch, replication: str | None = None) -> ResultSet:
+        """Answer ``batch`` in a single Algorithm Search pass.
+
+        ``batch`` may be a :class:`QueryBatch`, a sequence of
+        :class:`Query` descriptors, or a single :class:`Query`.
+        """
+        if isinstance(batch, Query):
+            batch = QueryBatch([batch])
+        elif not isinstance(batch, QueryBatch):
+            batch = QueryBatch(list(batch))
+        if replication is not None:
+            batch = QueryBatch(batch.queries, replication=replication)
+
+        plan = self.plan(batch)
+        tree = self.tree
+        snap = tree.machine.metrics.snapshot()
+
+        # Lazy annotation refit: local work + one broadcast round, cached.
+        if plan.refit_semigroup is not None:
+            tree._refit(plan.refit_semigroup, label="query:refit")
+
+        out = run_search(
+            tree.machine,
+            tree.hat,
+            tree.forest_store,
+            [tree.ranked.to_rank_box(q.box) for q in batch],
+            collect_leaves=plan.leaf_qids,
+            replication=batch.replication,
+            expand_qids=plan.leaf_qids,
+        )
+
+        answers = self._demux(plan, out)
+        results = [
+            QueryResult(qid=spec.qid, mode=spec.mode.name, query=spec.query, value=v)
+            for spec, v in zip(plan.specs, answers)
+        ]
+        metrics = tree.machine.metrics.since(snap)
+        return ResultSet(results, metrics, replication=batch.replication)
+
+    # ------------------------------------------------------------------
+    # the shared demultiplexing fold
+    # ------------------------------------------------------------------
+    def _demux(self, plan: QueryPlan, out) -> List[Any]:
+        """One sort + one segmented fold answers every mode at once.
+
+        Every piece of the batch — counts, semigroup values, point ids,
+        one record each — rides one sample sort by query id, so the sort
+        output is balanced over *all* pieces (Theorem 5's ``k/p`` term:
+        no processor ends with more than ``ceil(total/p)`` of them).
+        Report-family ids are then harvested directly from the sorted
+        output, while fold-family pieces go through the segmented
+        run-fold, whose combine dispatches on the query id; the run
+        summaries therefore carry only scalar-sized fold values, never a
+        query's id list.
+        """
+        mach = self.tree.machine
+        specs = plan.specs
+        p = mach.p
+
+        # Fold pieces are (qid, (qid, value)) so the fold's combine can
+        # dispatch per query; report pieces are plain (qid, pid).
+        pieces: List[List[Tuple[int, Any]]] = [[] for _ in range(p)]
+        for r in range(p):
+            bucket = pieces[r]
+            for h in out.hat_selections[r]:
+                spec = specs[h.qid]
+                if spec.hat_value is not None:
+                    bucket.append((h.qid, (h.qid, spec.hat_value(h))))
+            for f in out.forest_selections[r]:
+                spec = specs[f.qid]
+                if spec.report_pids:
+                    bucket.extend(
+                        (f.qid, pid) for pid in f.pid_tuple if pid >= 0
+                    )
+                elif spec.forest_value is not None:
+                    bucket.append((f.qid, (f.qid, spec.forest_value(f))))
+            for qid, pid in out.report_pairs[r] if out.report_pairs else ():
+                bucket.append((qid, pid))
+
+        ordered = sample_sort(
+            mach, pieces, key=lambda t: t[0], label="query:demux:sort"
+        )
+
+        # Split the balanced sorted output: ids are final as-is; fold
+        # pieces (still qid-sorted) continue into the segmented fold.
+        report_ids: dict[int, List[int]] = {}
+        fold_lists: List[List[Tuple[int, Any]]] = [[] for _ in range(p)]
+        for r in range(p):
+            for qid, payload in ordered[r]:
+                if specs[qid].report_pids:
+                    report_ids.setdefault(qid, []).append(payload)
+                else:
+                    fold_lists[r].append((qid, payload))
+
+        def op(a, b):
+            if a is None:
+                return b
+            if b is None:
+                return a
+            qid = a[0]
+            return (qid, specs[qid].combine(a[1], b[1]))
+
+        folded = fold_sorted_runs(mach, fold_lists, op, None, "query:demux")
+
+        answers: List[Any] = [spec.finalize(spec.default) for spec in specs]
+        for qid, ids in report_ids.items():
+            answers[qid] = specs[qid].finalize(ids)
+        for per_proc in folded:
+            for qid, tagged in per_proc:
+                if tagged is None:
+                    continue
+                answers[qid] = specs[qid].finalize(tagged[1])
+        return answers
+
+
+def plan_batch(tree, batch: QueryBatch) -> QueryPlan:
+    """Convenience: plan without executing (used by tests and tooling)."""
+    return QueryEngine(tree).plan(batch)

@@ -1,0 +1,124 @@
+"""Structured results: per-query answers plus the metrics that produced them.
+
+A :class:`ResultSet` is what :meth:`QueryEngine.run` (and the facade's
+``tree.run``) returns: one :class:`QueryResult` per query, in batch
+order, together with the superstep trace of the pass that answered them.
+The shape is the stable public contract — downstream callers (CLI
+``--json``, benchmarks, services) consume this rather than raw
+selection records, so the engine internals can keep evolving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Sequence
+
+from ..cgm.metrics import Metrics
+from .descriptors import Query
+
+__all__ = ["QueryResult", "ResultSet"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One answered query: its descriptor, its mode, and its value."""
+
+    qid: int
+    mode: str
+    query: Query
+    value: Any
+
+
+def _json_safe(value: Any) -> Any:
+    """Recursively coerce answer values into JSON-serialisable shapes."""
+    if isinstance(value, (frozenset, set)):
+        return sorted(_json_safe(v) for v in value)
+    if isinstance(value, (tuple, list)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    return value
+
+
+class ResultSet(Sequence):
+    """Answers to one batch, in query order, with pass-level metrics.
+
+    ``values()`` gives the bare answers; indexing gives
+    :class:`QueryResult` records; :attr:`metrics` is the superstep trace
+    of *this pass only* (search + demultiplex + any lazy refit), so
+    ``rs.rounds`` is the Theorem 3-5 observable for the batch.
+    """
+
+    def __init__(
+        self,
+        results: Sequence[QueryResult],
+        metrics: Metrics,
+        replication: str = "doubling",
+    ) -> None:
+        self._results = tuple(results)
+        self.metrics = metrics
+        self.replication = replication
+
+    # -- sequence protocol over per-query results --------------------------
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> Iterator[QueryResult]:
+        return iter(self._results)
+
+    def __getitem__(self, i):
+        return self._results[i]
+
+    # -- answers -----------------------------------------------------------
+    def values(self) -> List[Any]:
+        """The bare answers, one per query, in batch order."""
+        return [r.value for r in self._results]
+
+    def value(self, i: int) -> Any:
+        return self._results[i].value
+
+    def by_mode(self, mode: str) -> List[QueryResult]:
+        """The results of one output mode, still in batch order."""
+        return [r for r in self._results if r.mode == mode]
+
+    def modes(self) -> set:
+        return {r.mode for r in self._results}
+
+    # -- metrics observables -----------------------------------------------
+    @property
+    def rounds(self) -> int:
+        """Communication rounds consumed answering this batch."""
+        return self.metrics.rounds
+
+    @property
+    def max_h(self) -> int:
+        return self.metrics.max_h
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict: the machine-readable contract of ``--json``."""
+        return {
+            "queries": [
+                {
+                    "qid": r.qid,
+                    "mode": r.mode,
+                    "box": [
+                        [float(lo), float(hi)]
+                        for lo, hi in zip(r.query.box.lo, r.query.box.hi)
+                    ],
+                    "value": _json_safe(r.value),
+                }
+                for r in self._results
+            ],
+            "replication": self.replication,
+            "metrics": self.metrics.summary(),
+            "phases": self.metrics.phase_summary(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        modes = ", ".join(sorted(self.modes()))
+        return (
+            f"ResultSet(n={len(self)}, modes=[{modes}], "
+            f"rounds={self.rounds}, max_h={self.max_h})"
+        )

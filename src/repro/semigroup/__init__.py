@@ -4,9 +4,11 @@ from .base import Semigroup
 from .group import AbelianGroup, count_group, sum_group, vector_sum_group
 from .builtin import (
     COUNT,
+    ProductSemigroup,
     bounding_box_semigroup,
     count_semigroup,
     histogram_of_dim,
+    product_semigroup,
     top_k_ids,
     id_set,
     max_of_dim,
@@ -17,6 +19,8 @@ from .builtin import (
 
 __all__ = [
     "Semigroup",
+    "ProductSemigroup",
+    "product_semigroup",
     "AbelianGroup",
     "count_group",
     "sum_group",

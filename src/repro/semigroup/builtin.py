@@ -9,13 +9,16 @@ bounding boxes.  All are commutative with an identity, as required by
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Sequence
 
 from .base import Semigroup
 
 __all__ = [
     "COUNT",
+    "ProductSemigroup",
     "count_semigroup",
+    "product_semigroup",
     "sum_of_dim",
     "min_of_dim",
     "max_of_dim",
@@ -157,6 +160,53 @@ def top_k_ids(k: int, dim: int = 0) -> Semigroup[tuple]:
         lift=lift,
         combine=combine,
         identity=(),
+    )
+
+
+@dataclass(frozen=True)
+class ProductSemigroup(Semigroup):
+    """Componentwise product of several semigroups.
+
+    Values are tuples, one slot per component; ``lift``/``combine``/
+    ``identity`` act slot by slot.  The query engine uses products as
+    *annotation layers*: re-annotating the tree once with a product makes
+    every component's aggregate available to later batches without
+    another refit (components are looked up by ``name``).
+    """
+
+    components: tuple = ()
+
+    def index_of(self, name: str) -> int:
+        """Slot of the component named ``name`` (raises KeyError if absent)."""
+        for i, c in enumerate(self.components):
+            if c.name == name:
+                return i
+        raise KeyError(f"no component semigroup named {name!r}")
+
+
+def product_semigroup(components: Sequence[Semigroup]) -> ProductSemigroup:
+    """Bundle ``components`` into one componentwise :class:`ProductSemigroup`."""
+    comps = tuple(components)
+    if not comps:
+        raise ValueError("a product semigroup needs at least one component")
+    seen: set[str] = set()
+    for c in comps:
+        if c.name in seen:
+            raise ValueError(f"duplicate component semigroup name {c.name!r}")
+        seen.add(c.name)
+
+    def lift(pid: int, coords: Sequence[float]) -> tuple:
+        return tuple(c.lift(pid, coords) for c in comps)
+
+    def combine(a: tuple, b: tuple) -> tuple:
+        return tuple(c.combine(x, y) for c, x, y in zip(comps, a, b))
+
+    return ProductSemigroup(
+        name="(" + " x ".join(c.name for c in comps) + ")",
+        lift=lift,
+        combine=combine,
+        identity=tuple(c.identity for c in comps),
+        components=comps,
     )
 
 

@@ -95,3 +95,55 @@ class TestQueryCommand:
     def test_thread_backend(self, capsys):
         rc = main(["query", "--n", "64", "--m", "8", "--p", "2", "--backend", "thread"])
         assert rc == 0
+
+    def test_mixed_mode_with_verify(self, capsys):
+        rc = main(
+            ["query", "--n", "64", "--m", "9", "--p", "4", "--mode", "mixed", "--verify"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verification: OK" in out
+        # one planned pass: the search phase appears exactly once
+        assert "phases: ['search', 'query']" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        rc = main(
+            ["query", "--n", "64", "--m", "6", "--p", "4", "--mode", "mixed", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["queries"]) == 6
+        assert {q["mode"] for q in payload["queries"]} == {
+            "count",
+            "report",
+            "aggregate",
+        }
+        assert payload["metrics"]["rounds"] >= 1
+        assert "search" in payload["phases"]
+
+    def test_json_single_mode(self, capsys):
+        import json
+
+        rc = main(["query", "--n", "64", "--m", "4", "--p", "2", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(q["mode"] == "count" for q in payload["queries"])
+        assert all(isinstance(q["value"], int) for q in payload["queries"])
+
+    def test_json_stays_parseable_with_diagnostic_flags(self, capsys):
+        """--json + --verify/--validate/--trace: stdout is pure JSON,
+        diagnostics land on stderr."""
+        import json
+
+        rc = main(
+            ["query", "--n", "64", "--m", "6", "--p", "4", "--mode", "mixed",
+             "--json", "--verify", "--validate", "--trace"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # must not raise
+        assert len(payload["queries"]) == 6
+        assert "verification: OK" in captured.err
+        assert "validation: OK" in captured.err
