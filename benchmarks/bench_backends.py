@@ -1,0 +1,128 @@
+"""Backend benchmark: serial vs thread vs process on construct + search.
+
+The SPMD refactor's headline observable: with rank-resident state and a
+true process-parallel backend, the construct+search pipeline's wall-clock
+should *scale*, not just its measured op counts.  This driver builds the
+distributed tree and answers a count batch on every registered backend,
+at p = 4 and p = 8, and writes ``BENCH_backends.json`` at the repo root:
+per-backend construct/search/pipeline seconds plus the speedup of each
+backend over serial at the same ``p``.
+
+Caveats recorded in the output so the numbers stay interpretable:
+
+* ``cpu_count`` — process workers can only beat serial when the host has
+  cores to run them on; on a 1-core box the pickle/IPC overhead is pure
+  loss and the speedup column reads < 1 by construction.
+* The thread backend is GIL-bound for this pure-Python workload; it is
+  included as the concurrency-safety baseline, not as a contender.
+
+Run under the bench harness (``pytest benchmarks/ --benchmark-only -s``)
+or standalone (``PYTHONPATH=src python benchmarks/bench_backends.py``);
+set ``BENCH_BACKENDS_QUICK=1`` for a shrunken sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.dist import DistributedRangeTree
+from repro.query import QueryBatch, count
+from repro.workloads import selectivity_queries, uniform_points
+
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_backends.json"
+
+QUICK = bool(os.environ.get("BENCH_BACKENDS_QUICK"))
+N, D, M, SEL = (512, 2, 256, 0.02) if QUICK else (4096, 2, 2048, 0.01)
+PS = (4,) if QUICK else (4, 8)
+BACKENDS = ("serial", "thread", "process")
+SEARCH_REPEATS = 2  # best-of: amortizes first-touch noise
+
+
+def _timed_pipeline(backend: str, p: int, pts, boxes) -> dict:
+    t0 = time.perf_counter()
+    with DistributedRangeTree.build(pts, p=p, backend=backend) as tree:
+        construct_s = time.perf_counter() - t0
+        batch = QueryBatch([count(b) for b in boxes])
+        search_s = float("inf")
+        for _ in range(SEARCH_REPEATS):
+            t1 = time.perf_counter()
+            rs = tree.run(batch)
+            search_s = min(search_s, time.perf_counter() - t1)
+        answers = rs.values()
+    return {
+        "backend": backend,
+        "p": p,
+        "construct_seconds": round(construct_s, 4),
+        "search_seconds": round(search_s, 4),
+        "pipeline_seconds": round(construct_s + search_s, 4),
+        "rounds": rs.rounds,
+        "answer_checksum": sum(answers),
+    }
+
+
+def run_bench() -> dict:
+    pts = uniform_points(N, D, seed=11)
+    boxes = selectivity_queries(M, D, seed=12, selectivity=SEL)
+
+    rows = []
+    for p in PS:
+        for backend in BACKENDS:
+            rows.append(_timed_pipeline(backend, p, pts, boxes))
+
+    # Cross-backend speedups at equal p, keyed off the serial baseline.
+    serial_at = {r["p"]: r for r in rows if r["backend"] == "serial"}
+    for r in rows:
+        base = serial_at[r["p"]]
+        r["search_speedup_vs_serial"] = round(
+            base["search_seconds"] / max(r["search_seconds"], 1e-9), 3
+        )
+        r["pipeline_speedup_vs_serial"] = round(
+            base["pipeline_seconds"] / max(r["pipeline_seconds"], 1e-9), 3
+        )
+
+    checksums = {(r["p"], r["answer_checksum"]) for r in rows}
+    results = {
+        "config": {
+            "n": N,
+            "d": D,
+            "m": M,
+            "selectivity": SEL,
+            "p_values": list(PS),
+            "cpu_count": os.cpu_count(),
+            "quick": QUICK,
+        },
+        "results": rows,
+        "summary": {
+            "answers_agree_across_backends": len(checksums) == len(PS),
+            "best_process_search_speedup": max(
+                r["search_speedup_vs_serial"]
+                for r in rows
+                if r["backend"] == "process"
+            ),
+        },
+    }
+    OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def test_backends_bench(benchmark):
+    from conftest import run_once
+
+    results = run_once(benchmark, run_bench)
+    print(f"\nwrote {OUTPUT.name}: {json.dumps(results['summary'], indent=2)}")
+    assert results["summary"]["answers_agree_across_backends"]
+
+
+if __name__ == "__main__":
+    results = run_bench()
+    for row in results["results"]:
+        print(
+            f"{row['backend']:>7} p={row['p']}: "
+            f"construct {row['construct_seconds']}s, "
+            f"search {row['search_seconds']}s "
+            f"(x{row['search_speedup_vs_serial']} vs serial)"
+        )
+    print(f"wrote {OUTPUT}")

@@ -34,11 +34,11 @@ def _mixed(boxes) -> QueryBatch:
 
 
 def _timed_run(pts, batch) -> dict:
-    tree = DistributedRangeTree.build(pts, p=P)
-    tree.reset_metrics()
-    t0 = time.perf_counter()
-    rs = tree.run(batch)
-    dt = time.perf_counter() - t0
+    with DistributedRangeTree.build(pts, p=P) as tree:
+        tree.reset_metrics()
+        t0 = time.perf_counter()
+        rs = tree.run(batch)
+        dt = time.perf_counter() - t0
     return {
         "wall_seconds": round(dt, 4),
         "rounds": rs.rounds,

@@ -1,6 +1,15 @@
 """Coarse Grained Multicomputer (weak CREW BSP) simulator substrate."""
 
-from .backend import Backend, SerialBackend, ThreadBackend, make_backend
+from .backend import (
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    WorkerError,
+    available_backends,
+    make_backend,
+    register_backend,
+)
 from .collectives import (
     allgather,
     allreduce,
@@ -21,6 +30,7 @@ from .cost import CostModel
 from .loadbalance import assign_copies_round_robin, balance_by_weight, compute_copy_counts
 from .machine import Machine, ProcContext
 from .metrics import Metrics, StepRecord
+from .phases import get_phase, register_phase, registered_phases
 from .sort import sample_sort, sorted_and_balanced
 from .trace import render_trace
 
@@ -30,7 +40,14 @@ __all__ = [
     "Backend",
     "SerialBackend",
     "ThreadBackend",
+    "ProcessBackend",
+    "WorkerError",
     "make_backend",
+    "register_backend",
+    "available_backends",
+    "register_phase",
+    "get_phase",
+    "registered_phases",
     "CostModel",
     "Metrics",
     "StepRecord",

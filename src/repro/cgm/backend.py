@@ -1,54 +1,153 @@
 """Execution backends for the virtual processors.
 
-A backend runs ``p`` independent thunks (one per virtual processor) and
-returns their results in rank order.  Two implementations:
+A backend executes the machine's compute phases — named, registered
+functions ``fn(ctx, payload) -> result`` (see :mod:`repro.cgm.phases`) —
+and owns the **rank-resident state** those phases read and write between
+supersteps.  Three implementations ship, all discoverable through the
+:func:`register_backend` registry (so the factory's error message and the
+CLI's ``--backend`` choices can never drift from the real set):
 
-* :class:`SerialBackend` — runs them in a loop.  Deterministic, zero
-  overhead, the default for tests and benches (per-processor work is still
-  *measured* per processor, so scaling claims are observable).
+* :class:`SerialBackend` — runs ranks in a loop, in-process.
+  Deterministic, zero overhead, the default for tests and benches
+  (per-processor work is still *measured* per processor, so scaling
+  claims are observable).
 * :class:`ThreadBackend` — a persistent thread pool.  Under CPython's GIL
   pure-Python work does not speed up, but numpy-heavy phases release the
   GIL, and the backend proves the algorithms are safe under concurrent
   per-processor execution (no shared mutable state between ranks).
+* :class:`ProcessBackend` — persistent worker *processes*, one per rank.
+  Payloads and results cross the boundary by pickle; rank state lives in
+  the worker and never moves.  This is the backend that turns the
+  theorems' measured speedups into wall-clock speedups.
 
-Both must produce bit-identical results; a test asserts this.
+All backends must produce bit-identical results and identical metric
+traces; tests assert this.  Legacy thunk-closure phases
+(:meth:`Backend.run`) execute in the driver process on every backend —
+closures cannot cross a process boundary, so only registered phases
+parallelize under :class:`ProcessBackend`.
 """
 
 from __future__ import annotations
 
+import time
+import traceback
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Dict, List, Sequence, Tuple
 
-__all__ = ["Backend", "SerialBackend", "ThreadBackend", "make_backend"]
+from .phases import ProcContext, bootstrap, get_phase
+
+__all__ = [
+    "Backend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "WorkerError",
+    "make_backend",
+    "register_backend",
+    "available_backends",
+]
+
+#: ``(result, charged ops, wall seconds)`` for one rank of one phase.
+PhaseOutcome = Tuple[Any, int, float]
+
+
+class WorkerError(RuntimeError):
+    """A compute phase failed inside a worker process.
+
+    Carries the worker-side traceback; the driver re-raises the original
+    exception instead when it survives pickling.
+    """
+
+
+def _invoke(fn, ctx: ProcContext, payload: Any) -> PhaseOutcome:
+    t0 = time.perf_counter()
+    result = fn(ctx, payload)
+    return result, ctx.ops, time.perf_counter() - t0
 
 
 class Backend:
-    """Abstract executor of per-processor thunks."""
+    """Abstract executor of per-processor compute phases.
+
+    ``in_process`` marks backends whose rank-state store lives in the
+    driver process (serial/thread): the driver may then alias state
+    directly (``fetch_state`` returns the live objects, ``seed_state``
+    stores references).  For out-of-process backends both operations move
+    pickled copies.
+    """
 
     name = "abstract"
+    in_process = True
 
+    # -- legacy thunk-closure phases (driver-side state) -------------------
     def run(self, thunks: Sequence[Callable[[], Any]]) -> list[Any]:
+        """Run closure thunks in rank order, in the driver process."""
+        return [t() for t in thunks]
+
+    # -- SPMD phases over rank-resident state ------------------------------
+    def run_phase(
+        self, p: int, phase: str, payloads: Sequence[Any]
+    ) -> List[PhaseOutcome]:
+        raise NotImplementedError
+
+    def fetch_state(self, p: int, key: str) -> List[Any]:
+        """Per-rank value of one state key (live refs when in-process)."""
+        raise NotImplementedError
+
+    def seed_state(self, p: int, key: str, values: Sequence[Any]) -> None:
+        """Install one state key on every rank (refs when in-process)."""
         raise NotImplementedError
 
     def close(self) -> None:  # pragma: no cover - trivial
         pass
 
 
-class SerialBackend(Backend):
+class _InProcessBackend(Backend):
+    """Shared plumbing for backends whose rank state lives in-process."""
+
+    def __init__(self) -> None:
+        self._states: List[dict] | None = None
+
+    def states(self, p: int) -> List[dict]:
+        """The first ``p`` rank stores (grown on demand, never shrunk —
+        a backend may serve a p=8 machine and a p=4 machine in turn)."""
+        if self._states is None:
+            self._states = [dict() for _ in range(p)]
+        elif len(self._states) < p:
+            self._states.extend(dict() for _ in range(p - len(self._states)))
+        return self._states[:p]
+
+    def _outcome(self, p: int, phase: str, rank: int, payload: Any) -> PhaseOutcome:
+        fn = get_phase(phase)
+        ctx = ProcContext(rank=rank, p=p, state=self.states(p)[rank])
+        return _invoke(fn, ctx, payload)
+
+    def fetch_state(self, p: int, key: str) -> List[Any]:
+        return [st.get(key) for st in self.states(p)]
+
+    def seed_state(self, p: int, key: str, values: Sequence[Any]) -> None:
+        states = self.states(p)
+        for r in range(p):
+            states[r][key] = values[r]
+
+
+class SerialBackend(_InProcessBackend):
     """Run every virtual processor's phase in rank order, in-process."""
 
     name = "serial"
 
-    def run(self, thunks: Sequence[Callable[[], Any]]) -> list[Any]:
-        return [t() for t in thunks]
+    def run_phase(
+        self, p: int, phase: str, payloads: Sequence[Any]
+    ) -> List[PhaseOutcome]:
+        return [self._outcome(p, phase, r, payloads[r]) for r in range(p)]
 
 
-class ThreadBackend(Backend):
+class ThreadBackend(_InProcessBackend):
     """Run phases on a persistent thread pool (one worker per rank by default)."""
 
     name = "thread"
 
     def __init__(self, max_workers: int | None = None) -> None:
+        super().__init__()
         self._max_workers = max_workers
         self._pool: ThreadPoolExecutor | None = None
 
@@ -65,18 +164,239 @@ class ThreadBackend(Backend):
         futures = [pool.submit(t) for t in thunks]
         return [f.result() for f in futures]
 
+    def run_phase(
+        self, p: int, phase: str, payloads: Sequence[Any]
+    ) -> List[PhaseOutcome]:
+        self.states(p)  # materialize before fan-out: no racy lazy init
+        pool = self._ensure_pool(p)
+        futures = [
+            pool.submit(self._outcome, p, phase, r, payloads[r]) for r in range(p)
+        ]
+        return [f.result() for f in futures]
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
 
 
-def make_backend(spec: str | Backend) -> Backend:
-    """Backend factory: accepts "serial", "thread" or an instance."""
+# ---------------------------------------------------------------------------
+# the process backend: persistent workers, pickle-based routing
+# ---------------------------------------------------------------------------
+def _worker_main(rank: int, conn) -> None:
+    """Worker loop: rank state lives here and only here.
+
+    The driver sends ``("phase", name, payload, p)`` / ``("fetch", key)``
+    / ``("seed", key, value)`` / ``("stop",)`` commands; every command
+    gets exactly one reply, so the pipe can never desynchronize.  ``p``
+    rides each phase command because one worker set may serve machines
+    of different sizes (mirroring the in-process rank stores).
+    """
+    try:
+        bootstrap()
+        boot_failure: str | None = None
+    except Exception:
+        # Keep serving: the failure is reported with the first phase the
+        # missing imports would have registered, full traceback attached.
+        boot_failure = traceback.format_exc()
+    state: dict = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):  # pragma: no cover - driver died
+            break
+        cmd = msg[0]
+        if cmd == "stop":
+            break
+        try:
+            if cmd == "phase":
+                _, name, payload, p = msg
+                try:
+                    fn = get_phase(name)
+                except KeyError:
+                    if boot_failure is not None:
+                        raise WorkerError(
+                            f"worker bootstrap failed, phase {name!r} "
+                            f"unavailable; bootstrap traceback:\n{boot_failure}"
+                        ) from None
+                    raise
+                ctx = ProcContext(rank=rank, p=p, state=state)
+                conn.send(("ok", _invoke(fn, ctx, payload)))
+            elif cmd == "fetch":
+                conn.send(("ok", state.get(msg[1])))
+            elif cmd == "seed":
+                state[msg[1]] = msg[2]
+                conn.send(("ok", None))
+            else:  # pragma: no cover - protocol bug
+                conn.send(("error", RuntimeError(f"unknown command {cmd!r}"), ""))
+        except BaseException as exc:  # noqa: BLE001 - ship it to the driver
+            tb = traceback.format_exc()
+            try:
+                conn.send(("error", exc, tb))
+            except Exception:
+                conn.send(
+                    ("error", WorkerError(f"{type(exc).__name__}: {exc}"), tb)
+                )
+    conn.close()
+
+
+class ProcessBackend(Backend):
+    """Persistent worker processes — the true process-parallel backend.
+
+    One worker per rank, started lazily on first use (``fork`` where the
+    platform offers it, ``spawn`` otherwise).  Compute phases are routed
+    by *name*; payloads, results, and exchanged records are pickled
+    through per-rank pipes, and per-rank state (forest elements, hat
+    replicas) stays resident in the worker across phases — nothing else
+    crosses the boundary.  Results are collected in rank order, so
+    dispatch is deterministic; the machine's driver-side inbox merge
+    (ordered by source rank, then send order) does the rest.
+
+    Legacy closure phases (:meth:`run`) execute serially in the driver —
+    correct on any consumer, parallel only for migrated ones.
+    """
+
+    name = "process"
+    in_process = False
+
+    def __init__(self, start_method: str | None = None) -> None:
+        self._start_method = start_method
+        self._workers: List[tuple] = []  # (Process, Connection) per rank
+
+    # -- worker lifecycle --------------------------------------------------
+    def _ensure_workers(self, p: int) -> None:
+        """Grow the worker set to at least ``p`` ranks, never shrinking.
+
+        Like the in-process rank stores, one worker set may serve
+        machines of different sizes in turn; existing workers (and their
+        resident state) survive a larger or smaller machine coming along.
+        """
+        if len(self._workers) >= p:
+            return
+        import multiprocessing as mp
+
+        method = self._start_method or (
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        ctx = mp.get_context(method)
+        for rank in range(len(self._workers), p):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(rank, child),
+                name=f"cgm-proc-{rank}",
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._workers.append((proc, parent))
+
+    def _roundtrip(self, p: int, messages: Sequence[tuple]) -> List[Any]:
+        """Send one command per rank, collect one reply per rank (in order)."""
+        self._ensure_workers(p)
+        workers = self._workers[:p]
+        sent = 0
+        try:
+            for (_proc, conn), msg in zip(workers, messages):
+                conn.send(msg)
+                sent += 1
+        except Exception:
+            # A driver-side send failure (unpicklable payload) must not
+            # desynchronize the pipes: every delivered command gets exactly
+            # one reply, so drain the acks already owed before re-raising.
+            for rank in range(sent):
+                self._workers[rank][1].recv()
+            raise
+        replies: List[Any] = []
+        failure: tuple | None = None
+        for rank, (_proc, conn) in enumerate(workers):
+            try:
+                reply = conn.recv()
+            except (EOFError, OSError):
+                # The worker died mid-command (OOM kill, segfault).  The
+                # other pipes now hold replies with no matching commands,
+                # so the whole pool is torn down: the next use starts
+                # fresh workers and fails loudly on missing state instead
+                # of silently pairing stale replies with new commands.
+                self.close()
+                raise WorkerError(
+                    f"worker rank {rank} died mid-command; the worker pool "
+                    "was reset and its rank-resident state is lost"
+                ) from None
+            if reply[0] == "error" and failure is None:
+                failure = (rank, reply[1], reply[2] if len(reply) > 2 else "")
+            replies.append(reply)
+        if failure is not None:
+            rank, exc, tb = failure
+            if isinstance(exc, BaseException):
+                raise exc
+            raise WorkerError(f"rank {rank} failed: {exc}\n{tb}")
+        return [r[1] for r in replies]
+
+    # -- Backend interface -------------------------------------------------
+    def run_phase(
+        self, p: int, phase: str, payloads: Sequence[Any]
+    ) -> List[PhaseOutcome]:
+        return self._roundtrip(
+            p, [("phase", phase, payloads[r], p) for r in range(p)]
+        )
+
+    def fetch_state(self, p: int, key: str) -> List[Any]:
+        return self._roundtrip(p, [("fetch", key)] * p)
+
+    def seed_state(self, p: int, key: str, values: Sequence[Any]) -> None:
+        self._roundtrip(p, [("seed", key, values[r]) for r in range(p)])
+
+    def close(self) -> None:
+        for proc, conn in self._workers:
+            try:
+                conn.send(("stop",))
+            except (OSError, BrokenPipeError):  # pragma: no cover
+                pass
+        for proc, conn in self._workers:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1)
+            conn.close()
+        self._workers = []
+
+
+# ---------------------------------------------------------------------------
+# the backend registry
+# ---------------------------------------------------------------------------
+_BACKENDS: Dict[str, Callable[[], Backend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], Backend]) -> None:
+    """Register a backend factory under ``name`` (plug-in point).
+
+    The factory takes no arguments and returns a fresh :class:`Backend`.
+    ``make_backend``'s error message and the CLI's ``--backend`` choices
+    both derive from this registry, so they cannot drift.
+    """
+    _BACKENDS[name] = factory
+
+
+def available_backends() -> list[str]:
+    """Sorted names of every registered backend."""
+    return sorted(_BACKENDS)
+
+
+def make_backend(spec: "str | Backend") -> Backend:
+    """Backend factory: accepts a registered name or an instance."""
     if isinstance(spec, Backend):
         return spec
-    if spec == "serial":
-        return SerialBackend()
-    if spec == "thread":
-        return ThreadBackend()
-    raise ValueError(f"unknown backend {spec!r}; choose 'serial' or 'thread'")
+    try:
+        factory = _BACKENDS[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {spec!r}; choose one of "
+            + ", ".join(repr(n) for n in available_backends())
+        ) from None
+    return factory()
+
+
+register_backend("serial", SerialBackend)
+register_backend("thread", ThreadBackend)
+register_backend("process", ProcessBackend)

@@ -23,6 +23,7 @@ __all__ = [
     "balance_by_weight",
     "compute_copy_counts",
     "assign_copies_round_robin",
+    "replication_schedule",
     "replicate_groups",
 ]
 
@@ -107,6 +108,110 @@ def assign_copies_round_robin(copy_counts: Sequence[int], p: int) -> list[list[i
     return targets
 
 
+def replication_schedule(
+    p: int,
+    targets: Sequence[Sequence[int]],
+    strategy: str = "doubling",
+    fixed_rounds: int | None = None,
+    present: Sequence[bool] | None = None,
+) -> list[list[tuple[int, int, int]]]:
+    """The transfer plan of :func:`replicate_groups`, data-independent.
+
+    Returns one list per communication round; each entry is a
+    ``(sender, owner, dest)`` transfer: ``sender`` ships its copy of
+    ``owner``'s payload to ``dest``.  The plan depends only on
+    ``(p, targets, strategy, fixed_rounds)`` — never on payload contents —
+    which is what lets Algorithm Search compute the schedule in the
+    driver while the payloads themselves (forest-element stores) stay
+    rank-resident with the executors.  The simulation below mirrors the
+    transport loops exactly, including the order new holders are
+    recruited in (destination rank, then source rank), so a schedule
+    replay is bit-identical to the legacy driver-side transport.
+
+    ``present[j]`` marks owners that actually hold a payload (all do by
+    default); an absent owner can never serve its targets, so nonempty
+    targets for it fail the convergence check instead of silently
+    scheduling nothing-to-send transfers.
+    """
+    pending: list[list[int]] = []
+    for j in range(p):
+        want = [t for t in dict.fromkeys(targets[j]) if t != j]
+        pending.append(want)
+
+    def settle(have: list[list[int]], transfers: list[tuple[int, int, int]]) -> None:
+        # Replay the deterministic inbox merge: receivers in rank order,
+        # records within a receiver ordered by source rank then send order.
+        for dest in range(p):
+            for _sender, owner, d in sorted(
+                (t for t in transfers if t[2] == dest),
+                key=lambda t: t[0],
+            ):
+                have[owner].append(d)
+
+    if present is None:
+        present = [True] * p
+
+    if strategy == "direct":
+        for j in range(p):
+            if pending[j] and not present[j]:
+                raise RuntimeError(
+                    f"replication failed: owner {j} holds no payload for "
+                    f"targets {pending[j]}"
+                )
+        transfers = [(j, j, t) for j in range(p) for t in pending[j]]
+        return [transfers]
+
+    if strategy != "doubling":
+        raise ValueError(f"unknown replication strategy {strategy!r}")
+
+    have: list[list[int]] = [[j] if present[j] else [] for j in range(p)]
+    rounds: list[list[tuple[int, int, int]]] = []
+
+    if fixed_rounds is not None:
+        # data-independent round count: per-owner doubling, padded.
+        for _rnd in range(fixed_rounds):
+            transfers: list[tuple[int, int, int]] = []
+            for j in range(p):
+                queue = pending[j]
+                served = 0
+                for h in have[j]:
+                    if served >= len(queue):
+                        break
+                    transfers.append((h, j, queue[served]))
+                    served += 1
+                pending[j] = queue[served:]
+            settle(have, transfers)
+            rounds.append(transfers)
+        if any(pending):
+            raise RuntimeError(
+                f"replication failed to converge in {fixed_rounds} rounds"
+            )
+        return rounds
+
+    # doubling: every current holder serves one pending target per round
+    rnd = 0
+    while any(pending):
+        transfers = []
+        sent_this_round: set[int] = set()
+        for j in range(p):
+            queue = pending[j]
+            senders = [h for h in have[j] if h not in sent_this_round]
+            assigned = 0
+            for h in senders:
+                if assigned >= len(queue):
+                    break
+                transfers.append((h, j, queue[assigned]))
+                sent_this_round.add(h)
+                assigned += 1
+            pending[j] = queue[assigned:]
+        settle(have, transfers)
+        rounds.append(transfers)
+        rnd += 1
+        if rnd > 2 * p + 2:  # safety net against protocol bugs
+            raise RuntimeError("replication failed to converge")
+    return rounds
+
+
 def replicate_groups(
     mach: Machine,
     payloads: Sequence[Any],
@@ -151,80 +256,24 @@ def replicate_groups(
         if payloads[j] is not None:
             holders[j][j] = payloads[j]
 
-    pending: list[list[int]] = []
-    for j in range(p):
-        want = [t for t in dict.fromkeys(targets[j]) if t != j]
-        pending.append(want)
-
-    if strategy == "direct":
+    schedule = replication_schedule(
+        p,
+        targets,
+        strategy,
+        fixed_rounds,
+        present=[payloads[j] is not None for j in range(p)],
+    )
+    for rnd, transfers in enumerate(schedule):
         out = mach.empty_outboxes()
-        for j in range(p):
-            for t in pending[j]:
-                out[j][t].append((j, payloads[j]))
+        for sender, owner, dest in transfers:
+            out[sender][dest].append((owner, payloads[owner]))
+        round_label = (
+            f"{label}:direct" if strategy == "direct" else f"{label}:double-{rnd}"
+        )
         inboxes = mach.exchange_weighted(
-            f"{label}:direct", out, weight=lambda rec: max(1, weight(rec[1]))
+            round_label, out, weight=lambda rec: max(1, weight(rec[1]))
         )
         for r in range(p):
             for owner, payload in inboxes[r]:
                 holders[r][owner] = payload
-        return holders
-
-    if strategy != "doubling":
-        raise ValueError(f"unknown replication strategy {strategy!r}")
-
-    have: list[list[int]] = [[j] if payloads[j] is not None else [] for j in range(p)]
-
-    if fixed_rounds is not None:
-        # data-independent round count: per-owner doubling, padded.
-        for rnd in range(fixed_rounds):
-            out = mach.empty_outboxes()
-            for j in range(p):
-                queue = pending[j]
-                served = 0
-                for h in have[j]:
-                    if served >= len(queue):
-                        break
-                    out[h][queue[served]].append((j, payloads[j]))
-                    served += 1
-                pending[j] = queue[served:]
-            inboxes = mach.exchange_weighted(
-                f"{label}:double-{rnd}", out, weight=lambda rec: max(1, weight(rec[1]))
-            )
-            for r in range(p):
-                for owner, payload in inboxes[r]:
-                    holders[r][owner] = payload
-                    have[owner].append(r)
-        if any(pending):
-            raise RuntimeError(
-                f"replicate_groups failed to converge in {fixed_rounds} rounds"
-            )
-        return holders
-
-    # doubling: every current holder serves one pending target per round
-    rnd = 0
-    while any(pending):
-        out = mach.empty_outboxes()
-        sent_this_round: set[int] = set()
-        for j in range(p):
-            queue = pending[j]
-            senders = [h for h in have[j] if h not in sent_this_round]
-            assigned = 0
-            for h in senders:
-                if assigned >= len(queue):
-                    break
-                t = queue[assigned]
-                out[h][t].append((j, payloads[j]))
-                sent_this_round.add(h)
-                assigned += 1
-            pending[j] = queue[assigned:]
-        inboxes = mach.exchange_weighted(
-            f"{label}:double-{rnd}", out, weight=lambda rec: max(1, weight(rec[1]))
-        )
-        for r in range(p):
-            for owner, payload in inboxes[r]:
-                holders[r][owner] = payload
-                have[owner].append(r)
-        rnd += 1
-        if rnd > 2 * p + 2:  # safety net against protocol bugs
-            raise RuntimeError("replicate_groups failed to converge")
     return holders

@@ -2,11 +2,18 @@
 
 A :class:`Machine` is ``p`` virtual processors executing alternating
 *local computation* phases and *global communication* rounds (the paper's
-supersteps — the weak-CREW BSP variant of §1).  Algorithms are written in a driver style::
+supersteps — the weak-CREW BSP variant of §1).  Algorithms run in SPMD
+style: compute phases are named, registered functions over rank-resident
+state (:mod:`repro.cgm.phases`) and communication moves only serializable
+records::
 
     mach = Machine(p=8)
-    results = mach.compute("build", lambda ctx: build_local(state[ctx.rank], ctx))
+    results = mach.run_phase("build", "myalgo.build", payloads)
     inboxes = mach.exchange("route", outboxes)   # outboxes[src][dst] = [records]
+
+(The pre-SPMD thunk-closure style, ``mach.compute(label, fn)``, is kept
+for driver-local experiments; closures execute in the driver process and
+therefore never parallelize on the process backend.)
 
 Every phase is recorded in :attr:`Machine.metrics` — operation counts and
 wall-clock per processor for compute phases, per-processor sent/received
@@ -20,36 +27,65 @@ send order within a source, regardless of backend.
 
 from __future__ import annotations
 
+import itertools
 import time
-from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence, TypeVar
+from typing import Any, Callable, List, Sequence, TypeVar
 
 from ..errors import MachineError, ProtocolError
 from .backend import Backend, make_backend
 from .cost import CostModel
 from .metrics import Metrics
+from .phases import ProcContext
 
 T = TypeVar("T")
 
 __all__ = ["Machine", "ProcContext"]
 
 
-@dataclass
-class ProcContext:
-    """Handle passed to per-processor compute functions.
+def _materialize(values: Sequence[Any], default) -> List[Any]:
+    """Replace absent (None) state entries with the default value/factory."""
+    return [
+        v if v is not None else (default() if callable(default) else default)
+        for v in values
+    ]
 
-    ``charge(k)`` adds ``k`` abstract operations to this processor's work
-    account for the current phase; the data structures charge node visits,
-    records scanned, etc.  ``rank``/``p`` identify the processor.
+
+class StateView(Sequence):
+    """Lazy per-rank view of one rank-resident state key.
+
+    For in-process backends this is never needed (the driver aliases the
+    live store); for the process backend it defers the pickle-heavy
+    gather of worker state until someone actually introspects it — the
+    hot pipeline never does.
     """
 
-    rank: int
-    p: int
-    ops: int = 0
-    notes: dict = field(default_factory=dict)
+    def __init__(self, machine: "Machine", key: str, default=None) -> None:
+        self._machine = machine
+        self._key = key
+        self._default = default
+        self._cache: List[Any] | None = None
+        self._cache_gen = -1
 
-    def charge(self, k: int = 1) -> None:
-        self.ops += k
+    def _load(self) -> List[Any]:
+        # Cache per state *generation*: any phase or seed may have
+        # rewritten worker state since the last fetch (a refit does), so
+        # a stale snapshot must never be served after one.
+        gen = self._machine._state_gen
+        if self._cache is None or self._cache_gen != gen:
+            self._cache = _materialize(
+                self._machine.fetch_state(self._key), self._default
+            )
+            self._cache_gen = gen
+        return self._cache
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    def __getitem__(self, i):
+        return self._load()[i]
+
+    def __iter__(self):
+        return iter(self._load())
 
 
 class Machine:
@@ -61,7 +97,13 @@ class Machine:
         Number of virtual processors (any positive integer; the distributed
         range tree additionally requires a power of two).
     backend:
-        "serial" (default), "thread", or a :class:`~repro.cgm.backend.Backend`.
+        A registered backend name — see
+        :func:`~repro.cgm.backend.available_backends` ("serial" is the
+        default; "thread" and "process" ship in the box) — or a
+        :class:`~repro.cgm.backend.Backend` instance.  A backend created
+        here from a name is *owned*: :meth:`close` (and the context
+        manager) shuts it down.  A passed-in instance stays the caller's
+        responsibility.
     cost:
         BSP parameters used by :meth:`modeled_time`.
     capacity:
@@ -80,20 +122,80 @@ class Machine:
         if p < 1:
             raise MachineError(f"need at least one processor, got p={p}")
         self.p = p
+        self._owns_backend = not isinstance(backend, Backend)
         self.backend = make_backend(backend)
         self.cost = cost if cost is not None else CostModel()
         self.capacity = capacity
         self.metrics = Metrics()
         self._peak_storage = [0] * p
+        self._state_gen = 0
 
     # ------------------------------------------------------------------
     # local computation phases
     # ------------------------------------------------------------------
+    def run_phase(
+        self, label: str, phase: str, payloads: Sequence[Any] | None = None
+    ) -> list:
+        """Run the registered compute phase ``phase`` once per processor.
+
+        ``payloads[r]`` is rank ``r``'s input (``None`` for all ranks when
+        omitted); the per-rank results come back in rank order.  Payloads
+        and results must be serializable records on the process backend —
+        anything a rank keeps between phases belongs in its rank-resident
+        state, not in the return value.  Charged ops and wall-clock are
+        recorded per rank under ``label``.
+        """
+        if payloads is None:
+            payloads = [None] * self.p
+        if len(payloads) != self.p:
+            raise ProtocolError(
+                f"run_phase needs one payload per rank ({self.p}), got {len(payloads)}"
+            )
+        outcomes = self.backend.run_phase(self.p, phase, payloads)
+        self._state_gen += 1
+        self.metrics.record_compute(
+            label, [o[1] for o in outcomes], [o[2] for o in outcomes]
+        )
+        return [o[0] for o in outcomes]
+
+    # ------------------------------------------------------------------
+    # rank-resident state access (driver-side plumbing, not supersteps)
+    # ------------------------------------------------------------------
+    #: Namespace tokens are process-global, never per-machine: the rank
+    #: state store belongs to the *backend*, and one backend instance may
+    #: serve several machines — per-machine counters would collide.
+    _NS_COUNTER = itertools.count(1)
+
+    def new_ns(self, prefix: str = "t") -> str:
+        """A fresh state namespace token (one per tree/structure)."""
+        return f"{prefix}{next(Machine._NS_COUNTER)}"
+
+    def fetch_state(self, key: str) -> list:
+        """Gather one state key from every rank (live refs in-process)."""
+        return self.backend.fetch_state(self.p, key)
+
+    def seed_state(self, key: str, values: Sequence[Any]) -> None:
+        """Install per-rank values under ``key`` (refs in-process)."""
+        if len(values) != self.p:
+            raise ProtocolError(
+                f"seed_state needs one value per rank ({self.p}), got {len(values)}"
+            )
+        self.backend.seed_state(self.p, key, values)
+        self._state_gen += 1
+
+    def state_view(self, key: str, default=None) -> Sequence:
+        """Driver-side view of ``key``: live store in-process, lazy fetch otherwise."""
+        if self.backend.in_process:
+            return _materialize(self.fetch_state(key), default)
+        return StateView(self, key, default=default)
+
     def compute(self, label: str, fn: Callable[[ProcContext], T]) -> list[T]:
-        """Run ``fn`` once per processor (a local-computation superstep).
+        """Run closure ``fn`` once per processor (legacy driver-state style).
 
         Returns the per-rank results in rank order.  Wall-clock and charged
-        ops are recorded per rank.
+        ops are recorded per rank.  Closures execute in the driver process
+        on the process backend (they cannot cross the boundary), so prefer
+        :meth:`run_phase` for anything performance-relevant.
         """
         contexts = [ProcContext(rank=r, p=self.p) for r in range(self.p)]
         seconds = [0.0] * self.p
@@ -214,7 +316,14 @@ class Machine:
         self._peak_storage = [0] * self.p
 
     def close(self) -> None:
-        self.backend.close()
+        """Shut down an *owned* backend (one created here from a name).
+
+        A backend instance passed in by the caller is left running — it
+        may be shared by several machines; closing it is the caller's
+        job.  Idempotent.
+        """
+        if self._owns_backend:
+            self.backend.close()
 
     def __enter__(self) -> "Machine":
         return self

@@ -19,6 +19,12 @@ Rounds: exactly 4 ``exchange`` rounds regardless of input size — the
 constant the theorems require.  Duplicate keys are totally ordered by
 ``(key, source rank, source index)``, making the sort stable with respect
 to the original global order and the whole pipeline deterministic.
+
+The per-rank steps (1, 4, 5) are registered SPMD phases, so they execute
+wherever the backend's ranks live; items and the ``key`` callable must be
+picklable to sort on the process backend (module-level functions,
+``functools.partial`` and ``operator.itemgetter`` all qualify; lambdas
+restrict the sort to in-process backends).
 """
 
 from __future__ import annotations
@@ -28,10 +34,60 @@ from typing import Any, Callable, Sequence, TypeVar
 
 from .collectives import alltoall_broadcast, route_balanced
 from .machine import Machine
+from .phases import ProcContext, register_phase
 
 T = TypeVar("T")
 
 __all__ = ["sample_sort", "sorted_and_balanced"]
+
+
+def _first3(t: tuple) -> tuple:
+    return t[:3]
+
+
+@register_phase("cgm.sort.local")
+def _phase_local_sort(ctx: ProcContext, payload) -> list:
+    """Steps 1-2: decorate with ``(key, rank, index)``, sort, sample.
+
+    The decorated run stays *rank-resident* (stashed under the call's
+    state token) until the partition phase consumes it — only the tiny
+    sample set returns to the driver, saving two full-data crossings per
+    sort on the process backend.
+    """
+    items, key, token = payload
+    r = ctx.rank
+    decorated = [(key(it), r, i, it) for i, it in enumerate(items)]
+    decorated.sort(key=_first3)
+    ctx.charge(max(1, len(decorated)) * max(1, len(decorated).bit_length()))
+    ctx.state[token] = decorated
+    samples: list = []
+    m = len(decorated)
+    if m:
+        step = max(1, m // ctx.p)
+        samples = [decorated[j][:3] for j in range(0, m, step)]
+    return samples
+
+
+@register_phase("cgm.sort.partition")
+def _phase_partition(ctx: ProcContext, payload) -> list:
+    """Step 4a: split the stashed run at the splitters; returns the outbox row."""
+    splitters, token = payload
+    decorated = ctx.state.pop(token)
+    p = ctx.p
+    out: list[list] = [[] for _ in range(p)]
+    for item in decorated:
+        dest = bisect.bisect_right(splitters, item[:3])
+        out[min(dest, p - 1)].append(item)
+    ctx.charge(len(decorated))
+    return out
+
+
+@register_phase("cgm.sort.merge")
+def _phase_merge(ctx: ProcContext, payload) -> list:
+    """Step 5: merge the received sorted runs."""
+    items = sorted(payload, key=_first3)
+    ctx.charge(max(1, len(items)) * max(1, len(items).bit_length()))
+    return items
 
 
 def sample_sort(
@@ -46,27 +102,14 @@ def sample_sort(
     global sequence, with every rank holding at most ``ceil(N/p)`` items.
     """
     p = mach.p
+    token = mach.new_ns("sortbuf")
 
     # Step 1-2: local sort and regular sampling (local computation).
-    decorated: list[list[tuple[Any, int, int, T]]] = []
-    samples_per_rank: list[list[tuple[Any, int, int]]] = []
-
-    def local_sort(ctx) -> None:
-        r = ctx.rank
-        items = [(key(it), r, i, it) for i, it in enumerate(locals_[r])]
-        items.sort(key=lambda t: t[:3])
-        ctx.charge(max(1, len(items)) * max(1, len(items).bit_length()))
-        decorated[r].extend(items)
-        m = len(items)
-        if m:
-            step = max(1, m // p)
-            samples_per_rank[r].extend(
-                items[j][:3] for j in range(0, m, step)
-            )
-
-    decorated = [[] for _ in range(p)]
-    samples_per_rank = [[] for _ in range(p)]
-    mach.compute(f"{label}:local-sort", local_sort)
+    samples_per_rank = mach.run_phase(
+        f"{label}:local-sort",
+        "cgm.sort.local",
+        [(list(locals_[r]), key, token) for r in range(p)],
+    )
 
     # Step 2b: all-to-all broadcast of samples (1 round).
     all_samples = alltoall_broadcast(mach, samples_per_rank, label=f"{label}:samples")
@@ -79,28 +122,15 @@ def sample_sort(
         splitters = [pool[j] for j in range(step, len(pool), step)][: p - 1]
 
     # Step 4: partition by splitters and route (1 round).
-    out = mach.empty_outboxes()
-
-    def partition(ctx) -> None:
-        r = ctx.rank
-        for item in decorated[r]:
-            dest = bisect.bisect_right(splitters, item[:3])
-            out[r][min(dest, p - 1)].append(item)
-        ctx.charge(len(decorated[r]))
-
-    mach.compute(f"{label}:partition", partition)
+    out = mach.run_phase(
+        f"{label}:partition",
+        "cgm.sort.partition",
+        [(splitters, token)] * p,
+    )
     inboxes = mach.exchange(f"{label}:route", out)
 
     # Step 5: local merge (receivers hold sorted runs from each source).
-    merged: list[list[tuple[Any, int, int, T]]] = [[] for _ in range(p)]
-
-    def local_merge(ctx) -> None:
-        r = ctx.rank
-        items = sorted(inboxes[r], key=lambda t: t[:3])
-        ctx.charge(max(1, len(items)) * max(1, len(items).bit_length()))
-        merged[r].extend(items)
-
-    mach.compute(f"{label}:merge", local_merge)
+    merged = mach.run_phase(f"{label}:merge", "cgm.sort.merge", inboxes)
 
     # Step 6: balanced redistribution (2 rounds: count + route).
     balanced = route_balanced(mach, merged, label=f"{label}:balance")

@@ -31,6 +31,8 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .cgm.backend import available_backends
+
     ap = argparse.ArgumentParser(
         prog="repro-range-search",
         description="d-Dimensional Range Search on Multicomputers — reproduction CLI",
@@ -58,7 +60,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="count",
         help="output mode; 'mixed' cycles count/report/aggregate through one planned pass",
     )
-    q.add_argument("--backend", choices=["serial", "thread"], default="serial")
+    q.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="serial",
+        help="execution backend (the registry's choices; 'process' runs "
+        "one worker process per virtual processor)",
+    )
     q.add_argument("--verify", action="store_true", help="check against brute force")
     q.add_argument("--trace", action="store_true", help="print the superstep timeline")
     q.add_argument("--validate", action="store_true", help="run the structural validator")
@@ -148,44 +156,46 @@ def _cmd_query(args: argparse.Namespace) -> int:
     else:
         queries = make_queries(args.queries, args.m, args.d, seed=args.seed + 1)
 
-    tree = DistributedRangeTree.build(points, p=args.p, backend=args.backend)
-    if not args.json:
-        print(f"built {tree}: {tree.space_report()}")
-    tree.reset_metrics()
+    # The tree owns its machine (and that machine its backend): the
+    # with-block guarantees thread pools / worker processes shut down on
+    # every exit path, including --validate/--verify failures.
+    with DistributedRangeTree.build(points, p=args.p, backend=args.backend) as tree:
+        if not args.json:
+            print(f"built {tree}: {tree.space_report()}")
+        tree.reset_metrics()
 
-    rs = tree.run(_make_batch(args.mode, queries))
-    # With --json, stdout carries exactly one JSON document; every other
-    # diagnostic (trace, validation, verification) goes to stderr so the
-    # machine-readable contract survives any flag combination.
-    diag = sys.stderr if args.json else sys.stdout
-    if args.json:
-        print(_json.dumps(rs.to_dict(), indent=2, sort_keys=True))
-    else:
-        preview = [
-            len(r.value) if r.mode == "report" else r.value for r in rs[:10]
-        ]
-        print(f"{args.mode} answers (first 10): {preview}")
-        print(f"metrics: {rs.metrics.summary()}")
-        print(f"phases: {rs.metrics.phase_sequence()}")
+        rs = tree.run(_make_batch(args.mode, queries))
+        # With --json, stdout carries exactly one JSON document; every other
+        # diagnostic (trace, validation, verification) goes to stderr so the
+        # machine-readable contract survives any flag combination.
+        diag = sys.stderr if args.json else sys.stdout
+        if args.json:
+            print(_json.dumps(rs.to_dict(), indent=2, sort_keys=True))
+        else:
+            preview = [
+                len(r.value) if r.mode == "report" else r.value for r in rs[:10]
+            ]
+            print(f"{args.mode} answers (first 10): {preview}")
+            print(f"metrics: {rs.metrics.summary()}")
+            print(f"phases: {rs.metrics.phase_sequence()}")
 
-    if args.trace:
-        from .cgm.trace import render_trace
+        if args.trace:
+            from .cgm.trace import render_trace
 
-        print(render_trace(tree.metrics, tree.machine.cost), file=diag)
-    if args.validate:
-        from .dist.validate import validate_tree
+            print(render_trace(tree.metrics, tree.machine.cost), file=diag)
+        if args.validate:
+            from .dist.validate import validate_tree
 
-        rep = validate_tree(tree)
-        print(rep.summary(), file=diag)
-        if not rep.ok:
-            return 1
+            rep = validate_tree(tree)
+            print(rep.summary(), file=diag)
+            if not rep.ok:
+                return 1
 
-    if args.verify:
-        ok = _verify_results(rs, points)
-        print(f"verification: {'OK' if ok else 'FAILED'}", file=diag)
-        if not ok:
-            return 1
-    tree.machine.close()
+        if args.verify:
+            ok = _verify_results(rs, points)
+            print(f"verification: {'OK' if ok else 'FAILED'}", file=diag)
+            if not ok:
+                return 1
     return 0
 
 

@@ -35,11 +35,17 @@ from .._util import require_power_of_two
 from ..cgm.collectives import alltoall_broadcast
 from ..cgm.cost import CostModel
 from ..cgm.machine import Machine
+from ..cgm.phases import ProcContext, register_phase
 from ..geometry.box import Box
 from ..geometry.point import PointSet
 from ..geometry.rankspace import RankedPointSet, pad_to_power_of_two
 from ..semigroup import COUNT, Semigroup
-from .construct import ConstructResult, construct_distributed_tree
+from .construct import (
+    ConstructResult,
+    construct_distributed_tree,
+    forest_key,
+    hat_key,
+)
 from .forest import ForestElement, build_forest_element
 from .hat import Hat, HatNode
 from .labeling import is_valid_path
@@ -70,6 +76,38 @@ __all__ = [
     "validate_tree",
     "is_valid_path",
 ]
+
+
+@register_phase("dist.refit.relabel")
+def _phase_refit_relabel(ctx: ProcContext, payload) -> list:
+    """Re-annotate this rank's resident forest elements; return root infos."""
+    values_by_pid, semigroup, ns = payload
+    infos = []
+    for el in (ctx.state.get(forest_key(ns)) or {}).values():
+        el.reannotate([values_by_pid[pid] for pid in el.pids], semigroup)
+        infos.append(el.root_info())
+        ctx.charge(el.size_records)
+    return infos
+
+
+@register_phase("dist.refit.refresh_hat")
+def _phase_refit_refresh(ctx: ProcContext, payload) -> None:
+    """Refresh the resident hat's aggregates from the broadcast roots.
+
+    On in-process backends every rank aliases one shared hat object, so
+    only rank 0 refreshes it (``solo=True``) — the pre-SPMD behaviour
+    that keeps the thread backend race-free.  Worker processes each hold
+    their own replica and all must refresh.  Charging stays on rank 0
+    alone either way, so the metric trace is backend-independent.
+    """
+    roots, semigroup, ns, solo = payload
+    if solo and ctx.rank != 0:
+        return
+    hat = ctx.state.get(hat_key(ns))
+    if hat is not None:
+        hat.refresh_aggregates(roots, semigroup)
+        if ctx.rank == 0:
+            ctx.charge(hat.size_nodes())
 
 
 def _deprecated(old: str, new: str) -> None:
@@ -107,6 +145,7 @@ class DistributedRangeTree:
         machine: Machine,
         semigroup: Semigroup,
         construct_result: ConstructResult,
+        owns_machine: bool = False,
     ) -> None:
         self.points = points
         self.ranked = ranked
@@ -117,6 +156,8 @@ class DistributedRangeTree:
         self.hat = construct_result.hat
         self.forest_store = construct_result.forest_store
         self._engine = None
+        self._owns_machine = owns_machine
+        self._closed = False
 
     # ------------------------------------------------------------------
     # construction (Algorithm Construct, Theorem 2)
@@ -145,6 +186,7 @@ class DistributedRangeTree:
         """
         if not isinstance(points, PointSet):
             points = PointSet(points)
+        owns_machine = machine is None
         if machine is None:
             if p is None:
                 p = 4
@@ -156,7 +198,9 @@ class DistributedRangeTree:
         ranked = pad_to_power_of_two(points, minimum=p)
         values = cls._lift_values(ranked, points, semigroup)
         result = construct_distributed_tree(machine, ranked, values, semigroup)
-        return cls(points, ranked, machine, semigroup, result)
+        return cls(
+            points, ranked, machine, semigroup, result, owns_machine=owns_machine
+        )
 
     @staticmethod
     def _lift_values(
@@ -245,7 +289,56 @@ class DistributedRangeTree:
             rank_boxes,
             collect_leaves=collect_leaves,
             replication=replication,
+            ns=self._ensure_resident(),
         )
+
+    # ------------------------------------------------------------------
+    # lifecycle: the tree owns the machine it built for itself
+    # ------------------------------------------------------------------
+    def _ensure_resident(self) -> str:
+        """The tree's state namespace, seeding residency if it has none.
+
+        Trees assembled from hand-built stores (``ConstructResult`` with
+        an empty ``ns``) get their forest/hat installed into the rank
+        stores on first need — by reference on in-process backends — so
+        refits and searches hit real resident state instead of silently
+        finding nothing.
+        """
+        ns = self.construct_result.ns
+        if not ns:
+            mach = self.machine
+            ns = mach.new_ns("tree")
+            mach.seed_state(forest_key(ns), list(self.forest_store))
+            mach.seed_state(hat_key(ns), [self.hat] * mach.p)
+            self.construct_result.ns = ns
+        return ns
+
+    def close(self) -> None:
+        """Evict the tree's rank-resident state; release an owned machine.
+
+        Eviction runs even for a shared machine — trees built on one
+        machine in sequence must not accumulate forests in the rank
+        stores (worker processes are long-lived).  A machine the caller
+        passed in stays open (it may serve other trees); close it
+        yourself or use it as a context manager.
+        """
+        ns = self.construct_result.ns
+        if ns and not self._closed:
+            for key in (forest_key(ns), hat_key(ns), f"{ns}:holders",
+                        f"{ns}:stored_records"):
+                try:
+                    self.machine.seed_state(key, [None] * self.machine.p)
+                except Exception:  # backend already shut down
+                    break
+        self._closed = True
+        if self._owns_machine:
+            self.machine.close()
+
+    def __enter__(self) -> "DistributedRangeTree":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # deprecated pre-1.1 per-mode calls (thin wrappers over run())
@@ -334,29 +427,25 @@ class DistributedRangeTree:
             else:
                 values_by_pid[pid] = semigroup.identity
 
-        def relabel(ctx):
-            r = ctx.rank
-            infos = []
-            for el in self.forest_store[r].values():
-                el.reannotate([values_by_pid[pid] for pid in el.pids], semigroup)
-                infos.append(el.root_info())
-                ctx.charge(el.size_records)
-            return infos
-
-        roots_local = self.machine.compute(f"{label}:relabel", relabel)
-        gathered = alltoall_broadcast(
-            self.machine, roots_local, label=f"{label}:roots"
+        mach = self.machine
+        ns = self._ensure_resident()
+        roots_local = mach.run_phase(
+            f"{label}:relabel",
+            "dist.refit.relabel",
+            [(values_by_pid, semigroup, ns)] * mach.p,
         )
+        gathered = alltoall_broadcast(mach, roots_local, label=f"{label}:roots")
 
-        def refresh(ctx):
-            # The hat object is shared across virtual processors in the
-            # simulation; rank 0 refreshes it once to stay race-free
-            # under the thread backend.
-            if ctx.rank == 0:
-                self.hat.refresh_aggregates(gathered[0], semigroup)
-                ctx.charge(self.hat.size_nodes())
-
-        self.machine.compute(f"{label}:refresh-hat", refresh)
+        solo = mach.backend.in_process
+        mach.run_phase(
+            f"{label}:refresh-hat",
+            "dist.refit.refresh_hat",
+            [(gathered[r], semigroup, ns, solo) for r in range(mach.p)],
+        )
+        if not solo:
+            # The driver's introspection replica refreshes too (no charge:
+            # it is the p+1-th copy, outside the machine).
+            self.hat.refresh_aggregates(gathered[0], semigroup)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

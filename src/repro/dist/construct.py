@@ -29,6 +29,12 @@ finale
 
 The round count is ``7d + 1`` — fixed by ``d`` alone, never by ``n``,
 which is exactly what the Corollary 1 tests measure.
+
+SPMD residency: the per-rank steps run as registered phases
+(``dist.construct.*``), and what they build *stays with the executor* —
+forest elements under the ``{ns}:forest`` state key, the hat replica
+under ``{ns}:hat``.  Only records (:class:`SRecord`, root infos) and
+numpy rank blocks ever cross the driver/worker boundary.
 """
 
 from __future__ import annotations
@@ -44,6 +50,7 @@ from ..cgm.collectives import (
     segmented_partial_sum,
 )
 from ..cgm.machine import Machine
+from ..cgm.phases import ProcContext, register_phase
 from ..cgm.sort import sample_sort
 from ..errors import MachineError
 from ..geometry.rankspace import RankedPointSet
@@ -62,27 +69,156 @@ from .records import ForestRootInfo, SRecord
 __all__ = ["ConstructResult", "construct_distributed_tree"]
 
 
+def forest_key(ns: str) -> str:
+    """State key of a tree's rank-resident forest-element store."""
+    return f"{ns}:forest"
+
+
+def hat_key(ns: str) -> str:
+    """State key of a tree's rank-resident hat replica."""
+    return f"{ns}:hat"
+
+
 @dataclass
 class ConstructResult:
     """Everything Algorithm Construct leaves behind.
 
     ``forest_store[r]`` maps forest ids to the elements processor ``r``
-    owns (its group ``F_r`` of Theorem 1); ``roots`` is the broadcast
-    root set every processor saw; ``phase_record_counts[j]`` the number
-    of records phase ``j`` sorted (the §6 caveat's measurement).
+    owns (its group ``F_r`` of Theorem 1) — on in-process backends these
+    are the *live* rank-resident stores, on the process backend a lazy
+    fetched copy; ``roots`` is the broadcast root set every processor
+    saw; ``phase_record_counts[j]`` the number of records phase ``j``
+    sorted (the §6 caveat's measurement).  ``ns`` names the machine
+    state namespace the structure is resident under.
     """
 
     hat: Hat
-    forest_store: List[dict]
+    forest_store: Sequence[dict]
     roots: List[ForestRootInfo]
     phase_record_counts: List[int]
     p: int = field(default=1)
+    ns: str = field(default="")
 
     def forest_group_sizes(self) -> List[int]:
         """Points held per processor's forest group (Theorem 1(ii) balance)."""
         return [
             sum(el.nleaves for el in store.values()) for store in self.forest_store
         ]
+
+
+class _SortKey:
+    """Picklable sort key for phase ``j``: ``(tree_id, rank_j)``."""
+
+    __slots__ = ("j",)
+
+    def __init__(self, j: int) -> None:
+        self.j = j
+
+    def __getstate__(self):
+        return self.j
+
+    def __setstate__(self, j) -> None:
+        self.j = j
+
+    def __call__(self, rec: SRecord):
+        return (rec.tree_id, rec.ranks[self.j])
+
+
+@register_phase("dist.construct.scatter")
+def _phase_scatter(ctx: ProcContext, payload) -> List[SRecord]:
+    """Initial distribution: this rank's block of point records."""
+    rank_rows, ids, values = payload
+    records = [
+        SRecord(
+            tree_id=(),
+            ranks=tuple(int(x) for x in rank_rows[i]),
+            pid=int(ids[i]),
+            value=values[i],
+        )
+        for i in range(len(ids))
+    ]
+    ctx.charge(len(records))
+    return records
+
+
+@register_phase("dist.construct.build_elements")
+def _phase_build_elements(ctx: ProcContext, payload) -> dict:
+    """Construct step 3-4: build owned forest elements, fan out phase j+1.
+
+    Elements land in the rank-resident ``{ns}:forest`` store; only the
+    broadcastable root infos, the next phase's records, and the held
+    record count (for the driver's capacity check) are returned.
+    """
+    inbox = payload["inbox"]
+    j = payload["j"]
+    group_base = payload["group_base"]
+    logn = payload["logn"]
+    leaf_level = payload["leaf_level"]
+    d = payload["d"]
+    semigroup = payload["semigroup"]
+    ns = payload["ns"]
+
+    r = ctx.rank
+    store = ctx.state.setdefault(forest_key(ns), {})
+    stored_key = f"{ns}:stored_records"
+    roots: List[ForestRootInfo] = []
+    next_records: List[SRecord] = []
+
+    groups: dict[int, list] = {}
+    for g, leaf_m, rec in inbox:
+        groups.setdefault(g, []).append((leaf_m, rec))
+    for g in sorted(groups):
+        members = groups[g]  # already in ascending global (rank) order
+        leaf_m = members[0][0]
+        recs = [rec for _m, rec in members]
+        tree_id = recs[0].tree_id
+        root_idx = root_index_of_tree(tree_id)
+        root_lvl = root_level_of_tree(tree_id, primary_height=logn)
+        idx = leaf_index(root_idx, root_lvl, leaf_level, leaf_m)
+        fid = make_path(idx, leaf_level, tree_id)
+        el = build_forest_element(
+            forest_id=fid,
+            dim=j,
+            location=r,
+            group_rank=group_base + g,
+            ranks_rows=[rec.ranks for rec in recs],
+            pids=[rec.pid for rec in recs],
+            values=[rec.value for rec in recs],
+            semigroup=semigroup,
+        )
+        store[fid] = el
+        roots.append(el.root_info())
+        ctx.state[stored_key] = ctx.state.get(stored_key, 0) + el.size_records
+        ctx.charge(el.size_records)
+        if j < d - 1:
+            for _m, rec in members:
+                for anc in hat_ancestor_paths(idx, leaf_level, root_lvl, tree_id):
+                    next_records.append(
+                        SRecord(
+                            tree_id=anc,
+                            ranks=rec.ranks,
+                            pid=rec.pid,
+                            value=rec.value,
+                        )
+                    )
+            ctx.charge(len(members))
+    held = ctx.state.get(stored_key, 0) + len(next_records)
+    return {"roots": roots, "next_records": next_records, "held": held}
+
+
+@register_phase("dist.construct.build_hat")
+def _phase_build_hat(ctx: ProcContext, payload) -> "Hat | None":
+    """Construct step 5 finale: every rank rebuilds the identical hat.
+
+    The hat stays rank-resident under ``{ns}:hat``; only rank 0 returns
+    its copy (the driver's introspection handle) to keep the result
+    round cheap on the process backend.
+    """
+    roots, d, n, p, semigroup, ns = payload
+    hat = Hat.build(roots, d=d, n=n, p=p, semigroup=semigroup)
+    ctx.charge(hat.size_nodes())
+    ctx.state[hat_key(ns)] = hat
+    return hat if ctx.rank == 0 else None
 
 
 def construct_distributed_tree(
@@ -115,34 +251,26 @@ def construct_distributed_tree(
     logn = ilog2(n)
     leaf_level = logn - ilog2(p)  # the Definition 3 cut
     k = n // p  # records per forest group
-    ranks_arr = ranked.ranks
-    ids_arr = ranked.ids
+    ns = mach.new_ns("tree")
 
     # Initial distribution: block of n/p point records per processor (the
     # CGM input convention; a local-computation step, no round).
-    initial: List[List[SRecord]] = [[] for _ in range(p)]
-
-    def scatter(ctx) -> None:
-        r = ctx.rank
-        for i in range(r * k, (r + 1) * k):
-            initial[r].append(
-                SRecord(
-                    tree_id=(),
-                    ranks=tuple(int(x) for x in ranks_arr[i]),
-                    pid=int(ids_arr[i]),
-                    value=values[i],
-                )
+    current = mach.run_phase(
+        "construct:scatter-points",
+        "dist.construct.scatter",
+        [
+            (
+                ranked.ranks[r * k : (r + 1) * k],
+                ranked.ids[r * k : (r + 1) * k],
+                list(values[r * k : (r + 1) * k]),
             )
-        ctx.charge(k)
+            for r in range(p)
+        ],
+    )
 
-    mach.compute("construct:scatter-points", scatter)
-
-    store: List[dict] = [dict() for _ in range(p)]
-    stored_records = [0] * p
     roots_local: List[List[ForestRootInfo]] = [[] for _ in range(p)]
     phase_counts: List[int] = []
     group_base = 0
-    current = initial
 
     for j in range(d):
         label = f"construct:phase{j}"
@@ -152,7 +280,7 @@ def construct_distributed_tree(
         current = sample_sort(
             mach,
             current,
-            key=lambda rec, _j=j: (rec.tree_id, rec.ranks[_j]),
+            key=_SortKey(j),
             label=f"{label}:sort",
         )
 
@@ -183,68 +311,49 @@ def construct_distributed_tree(
         )
 
         # -- step 4: build elements + fan out next-phase records locally ----
-        next_records: List[List[SRecord]] = [[] for _ in range(p)]
-
-        def build_elements(ctx, _j=j, _base=group_base) -> None:
-            r = ctx.rank
-            groups: dict[int, list] = {}
-            for g, leaf_m, rec in inboxes[r]:
-                groups.setdefault(g, []).append((leaf_m, rec))
-            for g in sorted(groups):
-                members = groups[g]  # already in ascending global (rank) order
-                leaf_m = members[0][0]
-                recs = [rec for _m, rec in members]
-                tree_id = recs[0].tree_id
-                root_idx = root_index_of_tree(tree_id)
-                root_lvl = root_level_of_tree(tree_id, primary_height=logn)
-                idx = leaf_index(root_idx, root_lvl, leaf_level, leaf_m)
-                fid = make_path(idx, leaf_level, tree_id)
-                el = build_forest_element(
-                    forest_id=fid,
-                    dim=_j,
-                    location=r,
-                    group_rank=_base + g,
-                    ranks_rows=[rec.ranks for rec in recs],
-                    pids=[rec.pid for rec in recs],
-                    values=[rec.value for rec in recs],
-                    semigroup=semigroup,
-                )
-                store[r][fid] = el
-                roots_local[r].append(el.root_info())
-                stored_records[r] += el.size_records
-                ctx.charge(el.size_records)
-                if _j < d - 1:
-                    for _m, rec in members:
-                        for anc in hat_ancestor_paths(idx, leaf_level, root_lvl, tree_id):
-                            next_records[r].append(
-                                SRecord(
-                                    tree_id=anc,
-                                    ranks=rec.ranks,
-                                    pid=rec.pid,
-                                    value=rec.value,
-                                )
-                            )
-                    ctx.charge(len(members))
-            mach.check_capacity(r, stored_records[r] + len(next_records[r]))
-
-        mach.compute(f"{label}:build-elements", build_elements)
+        built = mach.run_phase(
+            f"{label}:build-elements",
+            "dist.construct.build_elements",
+            [
+                {
+                    "inbox": inboxes[r],
+                    "j": j,
+                    "group_base": group_base,
+                    "logn": logn,
+                    "leaf_level": leaf_level,
+                    "d": d,
+                    "semigroup": semigroup,
+                    "ns": ns,
+                }
+                for r in range(p)
+            ],
+        )
+        for r in range(p):
+            roots_local[r].extend(built[r]["roots"])
+            mach.check_capacity(r, built[r]["held"])
         group_base += ngroups
-        current = next_records
+        current = [built[r]["next_records"] for r in range(p)]
 
     # -- step 5: broadcast forest roots; rebuild the identical hat locally --
     gathered = alltoall_broadcast(mach, roots_local, label="construct:roots")
 
-    def build_hat(ctx) -> Hat:
-        hat = Hat.build(gathered[ctx.rank], d=d, n=n, p=p, semigroup=semigroup)
-        ctx.charge(hat.size_nodes())
-        return hat
-
-    hats = mach.compute("construct:build-hat", build_hat)
+    hats = mach.run_phase(
+        "construct:build-hat",
+        "dist.construct.build_hat",
+        [(gathered[r], d, n, p, semigroup, ns) for r in range(p)],
+    )
+    hat = hats[0]
+    if mach.backend.in_process:
+        # One shared replica (rank 0's) preserves the pre-SPMD aliasing
+        # semantics: driver-side mutations of ``tree.hat`` are what every
+        # virtual processor walks, and memory stays O(|hat|), not O(p|hat|).
+        mach.seed_state(hat_key(ns), [hat] * p)
 
     return ConstructResult(
-        hat=hats[0],
-        forest_store=store,
+        hat=hat,
+        forest_store=mach.state_view(forest_key(ns), default=dict),
         roots=list(gathered[0]),
         phase_record_counts=phase_counts,
         p=p,
+        ns=ns,
     )

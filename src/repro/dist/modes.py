@@ -23,6 +23,7 @@ forest pieces arbitrarily.
 
 from __future__ import annotations
 
+import operator
 from typing import Any, Callable, List, Tuple
 
 from ..cgm.collectives import allgather, route, route_balanced
@@ -56,7 +57,9 @@ def fold_pieces(
     :func:`fold_sorted_runs` over just the fold-family pieces), which is
     what lets a mixed-mode batch finish in a single demultiplexing pass.
     """
-    ordered = sample_sort(mach, pieces, key=lambda t: t[0], label=f"{label}:sort")
+    ordered = sample_sort(
+        mach, pieces, key=operator.itemgetter(0), label=f"{label}:sort"
+    )
     return fold_sorted_runs(mach, ordered, op, zero, label)
 
 

@@ -3,8 +3,8 @@
 A batch of ``m = O(n)`` rank-space queries is answered in a constant
 number of h-relations:
 
-1. **Hat walk** (local): each processor walks the replicated hat for its
-   block of queries (:meth:`repro.dist.hat.Hat.walk`), producing
+1. **Hat walk** (local): each processor walks its resident hat replica
+   for its block of queries (:meth:`repro.dist.hat.Hat.walk`), producing
    dimension-``d`` hat selections and the surviving subquery set ``Q'``
    aimed at forest elements.
 2. **Demand count** (1 round): one all-gather sums, per owner ``j``, the
@@ -16,7 +16,14 @@ number of h-relations:
    (h spikes to ``c_j·|F_j|``); ``doubling`` recruits one new holder per
    existing holder per round — ``log2 p`` rounds, always run in full so
    the round count is a function of ``(p, strategy)`` alone, never of
-   the data (the Corollary tests measure exactly this).
+   the data (the Corollary tests measure exactly this).  The *schedule*
+   is computed in the driver (it is data-independent —
+   :func:`repro.cgm.loadbalance.replication_schedule`); the element
+   stores move between ranks through pack/unpack phases and land in the
+   receiving rank's replica cache.  Like every exchange, the transfer is
+   routed via the driver's deterministic merge — on the process backend
+   that means one pickle up and one down per round, the heaviest payload
+   in the pipeline (in-process backends pass references).
 4. **Subquery routing** (1 round): owner ``j``'s subqueries are split
    into ``c_j`` chunks of at most ``ceil(|Q'|/p)`` and routed to the
    copy holders, so no processor serves more than ``O(|Q'|/p)``.
@@ -26,6 +33,14 @@ number of h-relations:
 
 The output modes of Theorems 4-5 (:mod:`repro.dist.modes`) then fold the
 selections per query.
+
+SPMD residency: steps 1, 3 and 5 are registered phases
+(``dist.search.*``) reading the rank-resident ``{ns}:forest`` /
+``{ns}:hat`` state that Algorithm Construct left behind; only query
+boxes, selection records, subqueries and replicated element stores cross
+the boundary.  Callers without a resident structure (hand-built stores
+in tests) omit ``ns`` and the stores are seeded first — by reference on
+in-process backends, by pickle on the process backend.
 """
 
 from __future__ import annotations
@@ -38,12 +53,14 @@ from ..cgm.collectives import allgather
 from ..cgm.loadbalance import (
     assign_copies_round_robin,
     compute_copy_counts,
-    replicate_groups,
+    replication_schedule,
 )
 from ..cgm.machine import Machine
+from ..cgm.phases import ProcContext, register_phase
 from ..errors import ProtocolError
 from ..geometry.box import RankBox
 from ..seq.segment_tree import WalkStats
+from .construct import forest_key, hat_key
 from .hat import Hat
 from .records import ExpandRequest, ForestSelection, HatSelectionRecord, Subquery
 
@@ -55,6 +72,10 @@ def _wants(flag: "bool | Collection[int]", qid: int) -> bool:
     if isinstance(flag, bool):
         return flag
     return qid in flag
+
+
+def _holders_key(ns: str) -> str:
+    return f"{ns}:holders"
 
 
 @dataclass
@@ -71,7 +92,7 @@ class SearchOutput:
 
     hat_selections: List[List[HatSelectionRecord]]
     forest_selections: List[List[ForestSelection]]
-    owner_stores: List[dict]
+    owner_stores: Sequence[dict]
     demands: List[int] = field(default_factory=list)
     copy_counts: List[int] = field(default_factory=list)
     subqueries_per_proc: List[int] = field(default_factory=list)
@@ -79,6 +100,99 @@ class SearchOutput:
     #: ``(qid, pid)`` pairs produced by in-pass hat-selection expansion
     #: (``expand_qids``); empty unless the caller requested expansion.
     report_pairs: List[List[Tuple[int, int]]] = field(default_factory=list)
+
+
+@register_phase("dist.search.walk")
+def _phase_walk(ctx: ProcContext, payload) -> tuple:
+    """Step 1: walk the resident hat for this rank's query block.
+
+    Also resets the pass-local replica cache — stale copies from a
+    previous batch must never serve this one.
+    """
+    qlo, boxes, collect, ns = payload
+    hat: Hat = ctx.state[hat_key(ns)]
+    ctx.state[_holders_key(ns)] = {}
+    sels: List[HatSelectionRecord] = []
+    subqs: List[Subquery] = []
+    for i, box in enumerate(boxes):
+        qid = qlo + i
+        s, q = hat.walk(
+            qid,
+            box,
+            collect_leaves=_wants(collect, qid),
+            charge=ctx.charge,
+        )
+        sels.extend(s)
+        subqs.extend(q)
+    return sels, subqs
+
+
+@register_phase("dist.search.replicate_pack")
+def _phase_replicate_pack(ctx: ProcContext, payload) -> list:
+    """Step 3a: emit this rank's scheduled copy transfers as an outbox row."""
+    instructions, ns = payload
+    forest = ctx.state.get(forest_key(ns)) or {}
+    holders = ctx.state.setdefault(_holders_key(ns), {})
+    out: list[list] = [[] for _ in range(ctx.p)]
+    for owner, dest in instructions:
+        store = forest if owner == ctx.rank else holders.get(owner)
+        if store is None:
+            raise ProtocolError(
+                f"rank {ctx.rank} was scheduled to forward group {owner} "
+                "without holding a copy"
+            )
+        out[dest].append((owner, store))
+    return out
+
+
+@register_phase("dist.search.replicate_unpack")
+def _phase_replicate_unpack(ctx: ProcContext, payload) -> None:
+    """Step 3b: file the received copies in the rank's replica cache."""
+    inbox, ns = payload
+    holders = ctx.state.setdefault(_holders_key(ns), {})
+    for owner, store in inbox:
+        holders[owner] = store
+    return None
+
+
+@register_phase("dist.search.forest")
+def _phase_forest(ctx: ProcContext, payload) -> tuple:
+    """Step 5: resume the canonical walk inside resident forest elements."""
+    inbox, ns = payload
+    r = ctx.rank
+    forest = ctx.state.get(forest_key(ns)) or {}
+    holders = ctx.state.get(_holders_key(ns)) or {}
+    forest_selections: List[ForestSelection] = []
+    report_pairs: List[Tuple[int, int]] = []
+    for sq in inbox:
+        if isinstance(sq, ExpandRequest):
+            # Owners always keep their own store; expand in place.
+            el = forest[sq.forest_id]
+            report_pairs.extend(
+                (sq.qid, pid) for pid in el.all_pids() if pid >= 0
+            )
+            ctx.charge(el.nleaves)
+            continue
+        store = forest if sq.location == r else holders.get(sq.location)
+        if store is None or sq.forest_id not in store:
+            raise ProtocolError(
+                f"rank {r} received subquery for {sq.forest_id} "
+                f"without holding a copy of group {sq.location}"
+            )
+        el = store[sq.forest_id]
+        stats = WalkStats()
+        for sel in el.canonical(RankBox(sq.los, sq.his), stats=stats):
+            forest_selections.append(
+                ForestSelection(
+                    qid=sq.qid,
+                    forest_id=sq.forest_id,
+                    nleaves=sel.leaf_count,
+                    agg=sel.agg(),
+                    pid_tuple=el.selection_pids(sel),
+                )
+            )
+        ctx.charge(max(1, stats.nodes_visited))
+    return forest_selections, report_pairs
 
 
 def run_search(
@@ -89,6 +203,7 @@ def run_search(
     collect_leaves: "bool | Collection[int]" = False,
     replication: str = "doubling",
     expand_qids: "Collection[int] | None" = None,
+    ns: str | None = None,
 ) -> SearchOutput:
     """Execute Algorithm Search for a batch of rank-space queries.
 
@@ -100,29 +215,65 @@ def run_search(
     elements' owners and the owners expand them during the step-5 walk, so
     report output costs no communication round beyond the pass itself
     (``SearchOutput.report_pairs`` holds the results per rank).
+
+    ``ns`` names the machine state namespace where Construct left the
+    structure resident (:attr:`ConstructResult.ns`); when omitted,
+    ``hat``/``forest_store`` are seeded into a fresh namespace first.
     """
+    p = mach.p
+    expand = frozenset(expand_qids) if expand_qids else frozenset()
+
+    temp_ns = ns is None
+    if temp_ns:
+        ns = mach.new_ns("search")
+        mach.seed_state(hat_key(ns), [hat] * p)
+        mach.seed_state(forest_key(ns), list(forest_store))
+    try:
+        return _run_search_resident(
+            mach, ns, forest_store, rank_boxes, collect_leaves, replication, expand
+        )
+    finally:
+        if temp_ns:
+            # One-shot namespace: release the seeded structures (success
+            # *or* failure) so repeated non-resident calls cannot
+            # accumulate copies in the rank stores.
+            for key in (hat_key(ns), forest_key(ns), _holders_key(ns)):
+                mach.seed_state(key, [None] * p)
+
+
+def _run_search_resident(
+    mach: Machine,
+    ns: str,
+    forest_store: Sequence[dict],
+    rank_boxes: Sequence[RankBox],
+    collect_leaves: "bool | Collection[int]",
+    replication: str,
+    expand: frozenset,
+) -> SearchOutput:
+    """The pass itself, against an already-resident structure."""
     p = mach.p
     m = len(rank_boxes)
     chunk = -(-m // p) if m else 1
-    expand = frozenset(expand_qids) if expand_qids else frozenset()
 
     # -- step 1: hat walk over each processor's query block ----------------
-    def walk(ctx):
-        r = ctx.rank
-        sels: List[HatSelectionRecord] = []
-        subqs: List[Subquery] = []
-        for qid in range(r * chunk, min(m, (r + 1) * chunk)):
-            s, q = hat.walk(
-                qid,
-                rank_boxes[qid],
-                collect_leaves=_wants(collect_leaves, qid),
-                charge=ctx.charge,
+    collect = (
+        collect_leaves
+        if isinstance(collect_leaves, bool)
+        else frozenset(collect_leaves)
+    )
+    walked = mach.run_phase(
+        "search:walk",
+        "dist.search.walk",
+        [
+            (
+                r * chunk,
+                list(rank_boxes[r * chunk : min(m, (r + 1) * chunk)]),
+                collect,
+                ns,
             )
-            sels.extend(s)
-            subqs.extend(q)
-        return sels, subqs
-
-    walked = mach.compute("search:walk", walk)
+            for r in range(p)
+        ],
+    )
     hat_selections = [w[0] for w in walked]
     local_subqs = [w[1] for w in walked]
 
@@ -140,7 +291,7 @@ def run_search(
     targets = assign_copies_round_robin(copy_counts, p)
 
     # -- step 3: replicate oversubscribed groups ---------------------------
-    holders = _replicate_stores(mach, forest_store, targets, replication)
+    _replicate_stores(mach, ns, targets, replication)
 
     # -- step 4: split each owner's subqueries over its copies and route ---
     per_copy = [max(1, -(-demands[j] // len(targets[j]))) for j in range(p)]
@@ -173,46 +324,18 @@ def run_search(
     ]
 
     # -- step 5: resume the canonical walk inside the forest ---------------
-    forest_selections: List[List[ForestSelection]] = [[] for _ in range(p)]
-    report_pairs: List[List[Tuple[int, int]]] = [[] for _ in range(p)]
-
-    def process(ctx):
-        r = ctx.rank
-        for sq in inboxes[r]:
-            if isinstance(sq, ExpandRequest):
-                # Owners always keep their own store; expand in place.
-                el = forest_store[r][sq.forest_id]
-                report_pairs[r].extend(
-                    (sq.qid, pid) for pid in el.all_pids() if pid >= 0
-                )
-                ctx.charge(el.nleaves)
-                continue
-            store = holders[r].get(sq.location)
-            if store is None or sq.forest_id not in store:
-                raise ProtocolError(
-                    f"rank {r} received subquery for {sq.forest_id} "
-                    f"without holding a copy of group {sq.location}"
-                )
-            el = store[sq.forest_id]
-            stats = WalkStats()
-            for sel in el.canonical(RankBox(sq.los, sq.his), stats=stats):
-                forest_selections[r].append(
-                    ForestSelection(
-                        qid=sq.qid,
-                        forest_id=sq.forest_id,
-                        nleaves=sel.leaf_count,
-                        agg=sel.agg(),
-                        pid_tuple=el.selection_pids(sel),
-                    )
-                )
-            ctx.charge(max(1, stats.nodes_visited))
-
-    mach.compute("search:forest", process)
+    processed = mach.run_phase(
+        "search:forest",
+        "dist.search.forest",
+        [(inboxes[r], ns) for r in range(p)],
+    )
+    forest_selections = [o[0] for o in processed]
+    report_pairs = [o[1] for o in processed]
 
     return SearchOutput(
         hat_selections=hat_selections,
         forest_selections=forest_selections,
-        owner_stores=list(forest_store),
+        owner_stores=forest_store,
         demands=demands,
         copy_counts=copy_counts,
         subqueries_per_proc=subqueries_per_proc,
@@ -223,24 +346,46 @@ def run_search(
 
 def _replicate_stores(
     mach: Machine,
-    forest_store: Sequence[dict],
+    ns: str,
     targets: Sequence[Sequence[int]],
     strategy: str,
-) -> List[dict]:
+) -> None:
     """Step 3's group replication with a data-independent round count.
 
-    Delegates to :func:`repro.cgm.loadbalance.replicate_groups`;
-    ``doubling`` is pinned to exactly ``log2 p`` rounds so Theorem 3's
-    "rounds independent of n" claim holds by construction, not by luck.
+    The transfer plan comes from
+    :func:`repro.cgm.loadbalance.replication_schedule` (``doubling`` is
+    pinned to exactly ``log2 p`` rounds so Theorem 3's "rounds
+    independent of n" claim holds by construction, not by luck); the
+    stores move between ranks via the pack/unpack phases — routed, like
+    every exchange, through the driver's deterministic merge — and stay
+    in each holder's rank-resident replica cache.
     """
-    return replicate_groups(
-        mach,
-        payloads=list(forest_store),
-        targets=targets,
-        weight=lambda store: max(
-            1, sum(el.size_records for el in store.values())
-        ),
-        strategy=strategy,
-        label="search:replicate",
-        fixed_rounds=ilog2(mach.p) if strategy == "doubling" else None,
-    )
+    p = mach.p
+    fixed = ilog2(p) if strategy == "doubling" else None
+    schedule = replication_schedule(p, targets, strategy, fixed_rounds=fixed)
+    for rnd, transfers in enumerate(schedule):
+        instructions: List[List[tuple]] = [[] for _ in range(p)]
+        for sender, owner, dest in transfers:
+            instructions[sender].append((owner, dest))
+        rows = mach.run_phase(
+            f"search:replicate:pack-{rnd}",
+            "dist.search.replicate_pack",
+            [(instructions[r], ns) for r in range(p)],
+        )
+        round_label = (
+            "search:replicate:direct"
+            if strategy == "direct"
+            else f"search:replicate:double-{rnd}"
+        )
+        inboxes = mach.exchange_weighted(
+            round_label,
+            rows,
+            weight=lambda rec: max(
+                1, sum(el.size_records for el in rec[1].values())
+            ),
+        )
+        mach.run_phase(
+            f"search:replicate:unpack-{rnd}",
+            "dist.search.replicate_unpack",
+            [(inboxes[r], ns) for r in range(p)],
+        )

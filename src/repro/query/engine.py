@@ -26,6 +26,7 @@ batch of the same size: modes share the pass instead of re-running it.
 
 from __future__ import annotations
 
+import operator
 from typing import Any, Dict, List, Sequence, Tuple
 
 from ..cgm.sort import sample_sort
@@ -196,6 +197,7 @@ class QueryEngine:
             collect_leaves=plan.leaf_qids,
             replication=batch.replication,
             expand_qids=plan.leaf_qids,
+            ns=tree._ensure_resident(),
         )
 
         answers = self._demux(plan, out)
@@ -247,7 +249,7 @@ class QueryEngine:
                 bucket.append((qid, pid))
 
         ordered = sample_sort(
-            mach, pieces, key=lambda t: t[0], label="query:demux:sort"
+            mach, pieces, key=operator.itemgetter(0), label="query:demux:sort"
         )
 
         # Split the balanced sorted output: ids are final as-is; fold

@@ -97,7 +97,17 @@ class ResultSet(Sequence):
         return self.metrics.max_h
 
     def to_dict(self) -> dict:
-        """JSON-safe dict: the machine-readable contract of ``--json``."""
+        """JSON-safe dict: the machine-readable contract of ``--json``.
+
+        Deterministic by construction — bit-identical across backends and
+        runs for the same batch.  Wall-clock (which no two runs share) is
+        reported separately, under the top-level ``"wall_seconds"`` key,
+        never inside the metric summaries.
+        """
+
+        def deterministic(summary: dict) -> dict:
+            return {k: v for k, v in summary.items() if k != "critical_seconds"}
+
         return {
             "queries": [
                 {
@@ -112,8 +122,12 @@ class ResultSet(Sequence):
                 for r in self._results
             ],
             "replication": self.replication,
-            "metrics": self.metrics.summary(),
-            "phases": self.metrics.phase_summary(),
+            "metrics": deterministic(self.metrics.summary()),
+            "phases": {
+                ph: deterministic(s)
+                for ph, s in self.metrics.phase_summary().items()
+            },
+            "wall_seconds": round(self.metrics.critical_seconds, 6),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

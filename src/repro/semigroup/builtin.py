@@ -4,12 +4,21 @@ These cover the aggregates a downstream user typically wants from a range
 query: counting, coordinate sums/extremes, id sets for small results, and
 bounding boxes.  All are commutative with an identity, as required by
 :class:`repro.semigroup.base.Semigroup`.
+
+Every builtin is **picklable**: lifts and combines are module-level
+functions (closed over their parameters with :func:`functools.partial`),
+never lambdas, because semigroups ride inside forest elements and
+construction payloads across the process backend's boundary.  User-defined
+semigroups built from lambdas still work on the in-process backends.
 """
 
 from __future__ import annotations
 
+import bisect
 import math
+import operator
 from dataclasses import dataclass
+from functools import partial
 from typing import Sequence
 
 from .base import Semigroup
@@ -30,12 +39,80 @@ __all__ = [
 ]
 
 
+# ---------------------------------------------------------------------------
+# module-level lift/combine building blocks (picklable by reference)
+# ---------------------------------------------------------------------------
+def _lift_one(pid: int, coords: Sequence[float]) -> int:
+    return 1
+
+
+def _lift_coord(pid: int, coords: Sequence[float], dim: int = 0) -> float:
+    return float(coords[dim])
+
+
+def _lift_id_singleton(pid: int, coords: Sequence[float]) -> frozenset:
+    return frozenset((pid,))
+
+
+def _union(a: frozenset, b: frozenset) -> frozenset:
+    return a | b
+
+
+def _bbox_lift(pid: int, coords: Sequence[float]) -> tuple:
+    t = tuple(float(c) for c in coords)
+    return (t, t)
+
+
+def _bbox_combine(a: tuple, b: tuple) -> tuple:
+    amin, amax = a
+    bmin, bmax = b
+    return (
+        tuple(min(x, y) for x, y in zip(amin, bmin)),
+        tuple(max(x, y) for x, y in zip(amax, bmax)),
+    )
+
+
+def _moments_lift(pid: int, coords: Sequence[float], dim: int = 0) -> tuple:
+    x = float(coords[dim])
+    return (1, x, x * x)
+
+
+def _tuple_add(a: tuple, b: tuple) -> tuple:
+    return tuple(x + y for x, y in zip(a, b))
+
+
+def _topk_lift(pid: int, coords: Sequence[float], dim: int = 0) -> tuple:
+    return ((float(coords[dim]), pid),)
+
+
+def _topk_combine(a: tuple, b: tuple, k: int = 1) -> tuple:
+    return tuple(sorted(a + b)[:k])
+
+
+def _hist_lift(
+    pid: int, coords: Sequence[float], dim: int = 0, cuts: tuple = (), nbins: int = 1
+) -> tuple:
+    b = bisect.bisect_right(cuts, float(coords[dim]))
+    return tuple(1 if i == b else 0 for i in range(nbins))
+
+
+def _product_lift(pid: int, coords: Sequence[float], comps: tuple = ()) -> tuple:
+    return tuple(c.lift(pid, coords) for c in comps)
+
+
+def _product_combine(a: tuple, b: tuple, comps: tuple = ()) -> tuple:
+    return tuple(c.combine(x, y) for c, x, y in zip(comps, a, b))
+
+
+# ---------------------------------------------------------------------------
+# the builtins
+# ---------------------------------------------------------------------------
 def count_semigroup() -> Semigroup[int]:
     """Count matching points (the paper's canonical example)."""
     return Semigroup(
         name="count",
-        lift=lambda pid, coords: 1,
-        combine=lambda a, b: a + b,
+        lift=_lift_one,
+        combine=operator.add,
         identity=0,
     )
 
@@ -48,8 +125,8 @@ def sum_of_dim(dim: int) -> Semigroup[float]:
     """Sum of coordinate ``dim`` over matching points."""
     return Semigroup(
         name=f"sum[x{dim}]",
-        lift=lambda pid, coords, _d=dim: float(coords[_d]),
-        combine=lambda a, b: a + b,
+        lift=partial(_lift_coord, dim=dim),
+        combine=operator.add,
         identity=0.0,
     )
 
@@ -58,7 +135,7 @@ def min_of_dim(dim: int) -> Semigroup[float]:
     """Minimum of coordinate ``dim`` (identity: +inf)."""
     return Semigroup(
         name=f"min[x{dim}]",
-        lift=lambda pid, coords, _d=dim: float(coords[_d]),
+        lift=partial(_lift_coord, dim=dim),
         combine=min,
         identity=math.inf,
     )
@@ -68,7 +145,7 @@ def max_of_dim(dim: int) -> Semigroup[float]:
     """Maximum of coordinate ``dim`` (identity: -inf)."""
     return Semigroup(
         name=f"max[x{dim}]",
-        lift=lambda pid, coords, _d=dim: float(coords[_d]),
+        lift=partial(_lift_coord, dim=dim),
         combine=max,
         identity=-math.inf,
     )
@@ -82,8 +159,8 @@ def id_set() -> Semigroup[frozenset]:
     """
     return Semigroup(
         name="id-set",
-        lift=lambda pid, coords: frozenset((pid,)),
-        combine=lambda a, b: a | b,
+        lift=_lift_id_singleton,
+        combine=_union,
         identity=frozenset(),
     )
 
@@ -95,23 +172,10 @@ def bounding_box_semigroup(dim: int) -> Semigroup[tuple]:
     empty box ``(+inf…, -inf…)``.
     """
     inf = math.inf
-
-    def lift(pid: int, coords: Sequence[float]) -> tuple:
-        t = tuple(float(c) for c in coords)
-        return (t, t)
-
-    def combine(a: tuple, b: tuple) -> tuple:
-        amin, amax = a
-        bmin, bmax = b
-        return (
-            tuple(min(x, y) for x, y in zip(amin, bmin)),
-            tuple(max(x, y) for x, y in zip(amax, bmax)),
-        )
-
     return Semigroup(
         name=f"bbox[{dim}d]",
-        lift=lift,
-        combine=combine,
+        lift=_bbox_lift,
+        combine=_bbox_combine,
         identity=((inf,) * dim, (-inf,) * dim),
     )
 
@@ -123,18 +187,10 @@ def moments_of_dim(dim: int) -> Semigroup[tuple]:
     matching points — the classic database-statistics use case from the
     paper's introduction.
     """
-
-    def lift(pid: int, coords: Sequence[float], _d=dim) -> tuple:
-        x = float(coords[_d])
-        return (1, x, x * x)
-
-    def combine(a: tuple, b: tuple) -> tuple:
-        return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
-
     return Semigroup(
         name=f"moments[x{dim}]",
-        lift=lift,
-        combine=combine,
+        lift=partial(_moments_lift, dim=dim),
+        combine=_tuple_add,
         identity=(0, 0.0, 0.0),
     )
 
@@ -148,17 +204,10 @@ def top_k_ids(k: int, dim: int = 0) -> Semigroup[tuple]:
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-
-    def lift(pid: int, coords: Sequence[float], _d=dim) -> tuple:
-        return ((float(coords[_d]), pid),)
-
-    def combine(a: tuple, b: tuple) -> tuple:
-        return tuple(sorted(a + b)[:k])
-
     return Semigroup(
         name=f"top{k}[x{dim}]",
-        lift=lift,
-        combine=combine,
+        lift=partial(_topk_lift, dim=dim),
+        combine=partial(_topk_combine, k=k),
         identity=(),
     )
 
@@ -195,16 +244,10 @@ def product_semigroup(components: Sequence[Semigroup]) -> ProductSemigroup:
             raise ValueError(f"duplicate component semigroup name {c.name!r}")
         seen.add(c.name)
 
-    def lift(pid: int, coords: Sequence[float]) -> tuple:
-        return tuple(c.lift(pid, coords) for c in comps)
-
-    def combine(a: tuple, b: tuple) -> tuple:
-        return tuple(c.combine(x, y) for c, x, y in zip(comps, a, b))
-
     return ProductSemigroup(
         name="(" + " x ".join(c.name for c in comps) + ")",
-        lift=lift,
-        combine=combine,
+        lift=partial(_product_lift, comps=comps),
+        combine=partial(_product_combine, comps=comps),
         identity=tuple(c.identity for c in comps),
         components=comps,
     )
@@ -217,21 +260,11 @@ def histogram_of_dim(dim: int, edges: Sequence[float]) -> Semigroup[tuple]:
     ``bisect_right(edges, x)``, so there are ``len(edges) + 1`` bins.
     Values are count tuples; combination is componentwise addition.
     """
-    import bisect
-
     cuts = tuple(float(e) for e in edges)
     nbins = len(cuts) + 1
-
-    def lift(pid: int, coords: Sequence[float], _d=dim) -> tuple:
-        b = bisect.bisect_right(cuts, float(coords[_d]))
-        return tuple(1 if i == b else 0 for i in range(nbins))
-
-    def combine(a: tuple, b: tuple) -> tuple:
-        return tuple(x + y for x, y in zip(a, b))
-
     return Semigroup(
         name=f"hist[x{dim},{nbins}bins]",
-        lift=lift,
-        combine=combine,
+        lift=partial(_hist_lift, dim=dim, cuts=cuts, nbins=nbins),
+        combine=_tuple_add,
         identity=(0,) * nbins,
     )

@@ -14,7 +14,9 @@ operation, which unlocks two techniques implemented in this library:
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Generic, TypeVar
 
 from .base import Semigroup
@@ -44,32 +46,46 @@ class AbelianGroup(Semigroup[V], Generic[V]):
 
 def count_group() -> AbelianGroup[int]:
     """Counting with integer negation as the inverse."""
+    from .builtin import _lift_one
+
     return AbelianGroup(
         name="count(group)",
-        lift=lambda pid, coords: 1,
-        combine=lambda a, b: a + b,
+        lift=_lift_one,
+        combine=operator.add,
         identity=0,
-        inverse=lambda v: -v,
+        inverse=operator.neg,
     )
 
 
 def sum_group(dim: int) -> AbelianGroup[float]:
     """Sum of coordinate ``dim`` with negation as the inverse."""
+    from .builtin import _lift_coord
+
     return AbelianGroup(
         name=f"sum[x{dim}](group)",
-        lift=lambda pid, coords, _d=dim: float(coords[_d]),
-        combine=lambda a, b: a + b,
+        lift=partial(_lift_coord, dim=dim),
+        combine=operator.add,
         identity=0.0,
-        inverse=lambda v: -v,
+        inverse=operator.neg,
     )
+
+
+def _vec_lift(pid, coords):
+    return tuple(float(c) for c in coords)
+
+
+def _vec_neg(v: tuple) -> tuple:
+    return tuple(-x for x in v)
 
 
 def vector_sum_group(d: int) -> AbelianGroup[tuple]:
     """Componentwise sum of the full coordinate vector."""
+    from .builtin import _tuple_add
+
     return AbelianGroup(
         name=f"vecsum[{d}d](group)",
-        lift=lambda pid, coords: tuple(float(c) for c in coords),
-        combine=lambda a, b: tuple(x + y for x, y in zip(a, b)),
+        lift=_vec_lift,
+        combine=_tuple_add,
         identity=(0.0,) * d,
-        inverse=lambda v: tuple(-x for x in v),
+        inverse=_vec_neg,
     )

@@ -1,0 +1,80 @@
+"""Cross-backend determinism: serial / thread / process are bit-identical.
+
+The SPMD contract (DESIGN decision 6, extended by the process backend):
+for the same build and batch, every backend must produce the *same*
+:meth:`ResultSet.to_dict` — answers, rounds, h-relations, charged ops —
+bit for bit.  Only the top-level ``"wall_seconds"`` entry (wall-clock,
+which no two runs share) is exempt; everything else identical means the
+phases charged identically and the inbox merges ordered identically,
+regardless of where the ranks actually executed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.dist import DistributedRangeTree
+from repro.query import QueryBatch, aggregate, count, report
+from repro.semigroup import sum_of_dim
+from repro.workloads import make_points
+
+from tests.helpers import random_boxes
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def _mixed_batch(boxes) -> QueryBatch:
+    cycle = [count, report, lambda b: aggregate(b, sum_of_dim(0))]
+    return QueryBatch([cycle[i % 3](b) for i, b in enumerate(boxes)])
+
+
+def _fingerprint(backend: str, d: int, dist_name: str) -> tuple:
+    pts = make_points(dist_name, 48, d, seed=1000 + d)
+    boxes = random_boxes(np.random.default_rng(2000 + d), 9, d)
+    with DistributedRangeTree.build(pts, p=4, backend=backend) as tree:
+        rs = tree.run(_mixed_batch(boxes))
+        payload = rs.to_dict()
+        assert payload.pop("wall_seconds") >= 0
+        trace = tuple(
+            (s.kind, s.label, s.ops, s.sent, s.received)
+            for s in tree.metrics.steps
+        )
+        sizes = tuple(tree.construct_result.forest_group_sizes())
+    return json.dumps(payload, sort_keys=True), trace, sizes
+
+
+class TestCrossBackendDeterminism:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    @pytest.mark.parametrize("dist_name", ["uniform", "clustered"])
+    def test_mixed_batches_bit_identical(self, d, dist_name):
+        base = _fingerprint("serial", d, dist_name)
+        for backend in BACKENDS[1:]:
+            other = _fingerprint(backend, d, dist_name)
+            assert other[0] == base[0], f"{backend} ResultSet.to_dict diverges"
+            assert other[1] == base[1], f"{backend} superstep trace diverges"
+            assert other[2] == base[2], f"{backend} forest layout diverges"
+
+    def test_replication_strategies_identical_across_backends(self):
+        """A hot spot (every query on one box) forces real copy traffic."""
+        from repro.geometry.box import Box
+
+        pts = make_points("uniform", 64, 2, seed=42)
+        hot = Box(((0.0, 0.25), (0.0, 1.0)))
+        batch = QueryBatch([count(hot)] * 20)
+        answers = {}
+        for backend in BACKENDS:
+            for strategy in ("doubling", "direct"):
+                with DistributedRangeTree.build(
+                    pts, p=4, backend=backend
+                ) as tree:
+                    rs = tree.run(batch, replication=strategy)
+                    answers[(backend, strategy)] = rs.values()
+        assert len({tuple(v) for v in answers.values()}) == 1
+
+    def test_run_to_run_determinism_on_process_backend(self):
+        a = _fingerprint("process", 2, "uniform")
+        b = _fingerprint("process", 2, "uniform")
+        assert a == b

@@ -388,6 +388,45 @@ class TestDeprecatedWrappers:
         with pytest.warns(DeprecationWarning, match="query_aggregate"):
             assert self.tree.query_aggregate(b) == bf_count(self.pts, b)
 
+    def test_wrappers_cannot_diverge_from_run(self):
+        """The wrappers are *thin*: their answers equal tree.run's exactly."""
+        with pytest.warns(DeprecationWarning):
+            got = {
+                "count": self.tree.batch_count(self.boxes),
+                "report": self.tree.batch_report(self.boxes),
+                "aggregate": self.tree.batch_aggregate(self.boxes),
+            }
+        assert got["count"] == self.tree.run(
+            [count(b) for b in self.boxes]
+        ).values()
+        assert got["report"] == self.tree.run(
+            [report(b) for b in self.boxes]
+        ).values()
+        assert got["aggregate"] == self.tree.run(
+            [aggregate(b) for b in self.boxes]
+        ).values()
+
+    def test_every_wrapper_warns(self):
+        """Each deprecated entry point emits DeprecationWarning, always."""
+        import warnings
+
+        b = self.boxes[0]
+        wrappers = [
+            lambda: self.tree.batch_count([b]),
+            lambda: self.tree.batch_report([b]),
+            lambda: self.tree.batch_aggregate([b]),
+            lambda: self.tree.query_count(b),
+            lambda: self.tree.query_report(b),
+            lambda: self.tree.query_aggregate(b),
+        ]
+        for fn in wrappers:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                fn()
+            assert any(
+                issubclass(w.category, DeprecationWarning) for w in caught
+            ), f"{fn} no longer warns"
+
 
 class TestBatchDescriptors:
     def test_batch_rejects_bare_boxes(self):
