@@ -28,6 +28,7 @@ import os
 import time
 from pathlib import Path
 
+from repro.bench.meta import bench_meta
 from repro.dist import DistributedRangeTree
 from repro.query import QueryBatch, count
 from repro.workloads import selectivity_queries, uniform_points
@@ -85,6 +86,7 @@ def run_bench() -> dict:
 
     checksums = {(r["p"], r["answer_checksum"]) for r in rows}
     results = {
+        "meta": bench_meta(),
         "config": {
             "n": N,
             "d": D,

@@ -1,0 +1,181 @@
+"""Data-plane A/B benchmark: columnar vs legacy object record traffic.
+
+The columnar refactor's headline observable: with record streams packed
+as column arrays (``repro.cgm.columns``), the Construct sorts run as
+``np.argsort`` over encoded keys and the Search routing/demux rounds
+move whole arrays — so the Construct + mixed-mode Search pipeline should
+beat the per-object legacy plane by a wide margin at realistic ``n``.
+
+This driver runs the same build + mixed count/report/aggregate batch on
+both planes (``repro.cgm.columns.dataplane`` switch) at n = 4096 and
+16384, p = 4 and 8, m = 2048, and writes ``BENCH_dataplane.json`` at the
+repo root: wall-clock per phase, the speedup ratios, answers checksum
+(the planes must agree bit for bit), and the per-round routed-bytes
+table for the search pass — the Theorem 2-5 communication volume,
+measured, which only the columnar plane reports exactly.
+
+Run under the bench harness (``pytest benchmarks/ --benchmark-only -s``)
+or standalone (``PYTHONPATH=src python benchmarks/bench_dataplane.py``);
+set ``BENCH_DATAPLANE_QUICK=1`` for the CI smoke sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.bench.meta import bench_meta
+from repro.cgm import columns
+from repro.dist import DistributedRangeTree
+from repro.query import QueryBatch, aggregate, count, report
+from repro.semigroup import sum_of_dim
+from repro.workloads import selectivity_queries, uniform_points
+
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_dataplane.json"
+
+QUICK = bool(os.environ.get("BENCH_DATAPLANE_QUICK"))
+D, SEL = 2, 0.01
+CONFIGS = (
+    [(512, 256, 4)]
+    if QUICK
+    else [(4096, 2048, 4), (4096, 2048, 8), (16384, 2048, 4), (16384, 2048, 8)]
+)
+PLANES = ("object", "columnar")
+SEARCH_REPEATS = 2  # best-of: amortizes first-touch noise
+
+
+def _mixed(boxes) -> QueryBatch:
+    cycle = [count, report, lambda b: aggregate(b, sum_of_dim(0))]
+    return QueryBatch([cycle[i % 3](b) for i, b in enumerate(boxes)])
+
+
+def _checksum(values) -> str:
+    """Digest of the *actual* answers, so 'planes agree' means bit-for-bit.
+
+    Report id lists hash in full (a plane returning the right count of
+    wrong ids must not pass); float aggregates hash by repr, which is
+    exact for bit-identical values.
+    """
+    return hashlib.sha256(repr(list(values)).encode()).hexdigest()[:16]
+
+
+def _timed(plane: str, n: int, m: int, p: int, pts, batch) -> dict:
+    with columns.dataplane(plane):
+        t0 = time.perf_counter()
+        with DistributedRangeTree.build(pts, p=p) as tree:
+            construct_s = time.perf_counter() - t0
+            search_s = float("inf")
+            for _ in range(SEARCH_REPEATS):
+                tree.reset_metrics()
+                t1 = time.perf_counter()
+                rs = tree.run(batch)
+                search_s = min(search_s, time.perf_counter() - t1)
+            values = rs.values()
+            search_rounds = [
+                row
+                for row in rs.metrics.comm_bytes_by_round()
+                if row["phase"] in ("search", "query")
+            ]
+    return {
+        "plane": plane,
+        "n": n,
+        "m": m,
+        "p": p,
+        "construct_seconds": round(construct_s, 4),
+        "search_seconds": round(search_s, 4),
+        "pipeline_seconds": round(construct_s + search_s, 4),
+        "rounds": rs.rounds,
+        "comm_bytes": rs.metrics.total_comm_bytes,
+        "search_bytes_by_round": search_rounds,
+        "answer_checksum": _checksum(values),
+    }
+
+
+def run_bench() -> dict:
+    rows = []
+    for n, m, p in CONFIGS:
+        pts = uniform_points(n, D, seed=11)
+        batch = _mixed(selectivity_queries(m, D, seed=12, selectivity=SEL))
+        for plane in PLANES:
+            rows.append(_timed(plane, n, m, p, pts, batch))
+
+    # A/B ratios at equal (n, p), keyed off the object-plane baseline.
+    legacy_at = {
+        (r["n"], r["p"]): r for r in rows if r["plane"] == "object"
+    }
+    for r in rows:
+        base = legacy_at[(r["n"], r["p"])]
+        r["pipeline_speedup_vs_object"] = round(
+            base["pipeline_seconds"] / max(r["pipeline_seconds"], 1e-9), 3
+        )
+        r["answers_match_object"] = (
+            r["answer_checksum"] == base["answer_checksum"]
+        )
+
+    columnar_rows = [r for r in rows if r["plane"] == "columnar"]
+    headline = [
+        r["pipeline_speedup_vs_object"]
+        for r in columnar_rows
+        if r["n"] == max(c[0] for c in CONFIGS)
+    ]
+    results = {
+        "meta": bench_meta(),
+        "config": {
+            "d": D,
+            "selectivity": SEL,
+            "configs": [
+                {"n": n, "m": m, "p": p} for n, m, p in CONFIGS
+            ],
+            "quick": QUICK,
+        },
+        "results": rows,
+        "summary": {
+            "answers_agree_across_planes": all(
+                r["answers_match_object"] for r in rows
+            ),
+            "best_columnar_pipeline_speedup": max(
+                r["pipeline_speedup_vs_object"] for r in columnar_rows
+            ),
+            "headline_speedup_at_max_n": max(headline),
+            # every non-empty search/demux round carries a bytes figure
+            # (padding rounds of the doubling schedule legitimately move 0)
+            "search_rounds_with_bytes": all(
+                all(
+                    row["bytes"] > 0
+                    for row in r["search_bytes_by_round"]
+                    if row["records"] > 0
+                )
+                for r in columnar_rows
+            ),
+        },
+    }
+    OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def test_dataplane_bench(benchmark):
+    from conftest import run_once
+
+    results = run_once(benchmark, run_bench)
+    summary = results["summary"]
+    print(f"\nwrote {OUTPUT.name}: {json.dumps(summary, indent=2)}")
+    assert summary["answers_agree_across_planes"]
+    assert summary["search_rounds_with_bytes"]
+    if not results["config"]["quick"]:
+        assert summary["headline_speedup_at_max_n"] >= 1.5
+
+
+if __name__ == "__main__":
+    results = run_bench()
+    for row in results["results"]:
+        print(
+            f"{row['plane']:>8} n={row['n']:>5} p={row['p']}: "
+            f"construct {row['construct_seconds']}s "
+            f"search {row['search_seconds']}s "
+            f"(pipeline x{row['pipeline_speedup_vs_object']} vs object)"
+        )
+    print(json.dumps(results["summary"], indent=2))
+    print(f"wrote {OUTPUT}")

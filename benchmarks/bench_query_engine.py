@@ -18,6 +18,7 @@ import json
 import time
 from pathlib import Path
 
+from repro.bench.meta import bench_meta
 from repro.dist import DistributedRangeTree
 from repro.query import QueryBatch, aggregate, count, report
 from repro.semigroup import sum_of_dim
@@ -53,6 +54,7 @@ def run_bench() -> dict:
     boxes = selectivity_queries(M, D, seed=6, selectivity=SEL)
 
     results = {
+        "meta": bench_meta(),
         "config": {"n": N, "d": D, "p": P, "m": M, "selectivity": SEL},
         "mixed": _timed_run(pts, _mixed(boxes)),
         "single_mode": {

@@ -9,6 +9,7 @@ renders all of them, and EXPERIMENTS.md is generated from the same output.
 from .baselines import run_b1, run_b2, run_x1
 from .construction import run_c1, run_c2, run_cav1
 from .extensions import run_d1, run_dy1, run_sq1
+from .meta import SCHEMA_VERSION, bench_meta, validate_meta
 from .queries import run_a1, run_m1, run_r1, run_s1
 from .speedup import run_sp1
 from .structure import run_f1, run_f2, run_f3, run_t1
@@ -39,6 +40,9 @@ EXPERIMENTS = {
 __all__ = [
     "Table",
     "EXPERIMENTS",
+    "SCHEMA_VERSION",
+    "bench_meta",
+    "validate_meta",
     "run_f1",
     "run_f2",
     "run_f3",

@@ -20,6 +20,13 @@ CLI's ``--backend`` choices can never drift from the real set):
   the worker and never moves.  This is the backend that turns the
   theorems' measured speedups into wall-clock speedups.
 
+Transport note: the columnar data plane (:mod:`repro.cgm.columns`) makes
+the pickle boundary cheap by construction — record traffic crosses as
+:class:`~repro.cgm.columns.RecordBatch` payloads, so one phase dispatch
+serializes a handful of numpy column arrays (O(1) objects) instead of an
+object list with one dataclass per record.  The backends need no special
+casing: a batch is just a payload whose pickle happens to be flat.
+
 All backends must produce bit-identical results and identical metric
 traces; tests assert this.  Legacy thunk-closure phases
 (:meth:`Backend.run`) execute in the driver process on every backend —

@@ -17,7 +17,10 @@ from __future__ import annotations
 
 from typing import Any, Callable, Sequence, TypeVar
 
+import numpy as np
+
 from ..errors import ProtocolError
+from .columns import RecordBatch
 from .machine import Machine
 
 T = TypeVar("T")
@@ -36,6 +39,7 @@ __all__ = [
     "segmented_broadcast",
     "segmented_gather",
     "route",
+    "route_batches",
     "route_balanced",
     "global_positions",
 ]
@@ -68,6 +72,41 @@ def route(
                 raise ProtocolError(f"destination {d} out of range for p={mach.p}")
             out[r][d].append(item)
     return mach.exchange(label, out)
+
+
+def route_batches(
+    mach: Machine,
+    batches: Sequence[RecordBatch],
+    dests: Sequence[np.ndarray],
+    label: str = "route",
+    template: "RecordBatch | None" = None,
+) -> list[RecordBatch]:
+    """Columnar :func:`route`: row ``i`` of ``batches[r]`` goes to rank
+    ``dests[r][i]``; one h-relation of whole column packs.
+
+    Rows keep their relative order per ``(source, destination)`` pair —
+    one ``take`` per destination over the ascending row indices — so the
+    deterministic inbox merge is byte-for-byte the object path's.
+    ``template`` shapes empty inboxes (any batch of the stream's codec).
+    """
+    p = mach.p
+    outboxes: list[list] = [[None] * p for _ in range(p)]
+    for r, batch in enumerate(batches):
+        n = len(batch)
+        if not n:
+            continue
+        dest = np.asarray(dests[r], dtype=np.int64)
+        if len(dest) != n:
+            raise ProtocolError(
+                f"rank {r}: {n} rows but {len(dest)} destinations"
+            )
+        if len(dest) and (int(dest.min()) < 0 or int(dest.max()) >= p):
+            raise ProtocolError(
+                f"destination out of range for p={p} at rank {r}"
+            )
+        for dst in np.unique(dest):
+            outboxes[r][int(dst)] = batch.take(np.nonzero(dest == dst)[0])
+    return mach.exchange_batches(label, outboxes, template)
 
 
 def alltoall_broadcast(

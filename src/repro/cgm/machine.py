@@ -33,6 +33,7 @@ from typing import Any, Callable, List, Sequence, TypeVar
 
 from ..errors import MachineError, ProtocolError
 from .backend import Backend, make_backend
+from .columns import RecordBatch, estimate_box_nbytes
 from .cost import CostModel
 from .metrics import Metrics
 from .phases import ProcContext
@@ -226,9 +227,17 @@ class Machine:
         ``dst``, ordered by source rank then send order.  Each record
         counts one unit toward the h-relation (use
         :meth:`exchange_weighted` when records have bulk payloads).
+        Routed bytes are recorded per round alongside the record counts —
+        estimated structurally here (see
+        :func:`~repro.cgm.columns.estimate_box_nbytes`); exact for
+        :meth:`exchange_batches`.
         """
         self._validate_outboxes(outboxes)
         sent = [sum(len(box) for box in procbox) for procbox in outboxes]
+        sent_bytes = [
+            sum(estimate_box_nbytes(box) for box in procbox if box)
+            for procbox in outboxes
+        ]
         inboxes: list[list[Any]] = [[] for _ in range(self.p)]
         for src in range(self.p):
             for dst in range(self.p):
@@ -236,7 +245,73 @@ class Machine:
                 if box:
                     inboxes[dst].extend(box)
         received = [len(b) for b in inboxes]
-        self.metrics.record_comm(label, sent, received)
+        self.metrics.record_comm(label, sent, received, sent_bytes)
+        self._note_storage(received)
+        return inboxes
+
+    def exchange_batches(
+        self,
+        label: str,
+        outboxes: Sequence[Sequence["RecordBatch | None"]],
+        template: "RecordBatch | None" = None,
+        weight_col: "str | None" = None,
+    ) -> list[RecordBatch]:
+        """One h-relation of column-packed record batches.
+
+        ``outboxes[src][dst]`` is a :class:`~repro.cgm.columns.RecordBatch`
+        (or ``None`` for nothing); the inbox of each destination is the
+        *column-wise concatenation* of everything sent to it, ordered by
+        source rank — the same deterministic merge as :meth:`exchange`,
+        but moving whole arrays.  Each packed record counts one unit
+        toward the h-relation — or, when ``weight_col`` names an int
+        column, ``max(1, weight)`` units per record, mirroring
+        :meth:`exchange_weighted` for bulk records — so round/h
+        accounting is identical to the object path; routed bytes are
+        exact column sizes.  ``template`` supplies the schema for
+        destinations that receive nothing (any batch of the stream's
+        codec works).
+        """
+        self._validate_outboxes(outboxes)
+
+        def units(batch: RecordBatch) -> int:
+            if weight_col is None:
+                return len(batch)
+            import numpy as _np
+
+            w = _np.asarray(batch.col(weight_col))
+            return int(_np.maximum(w, 1).sum())
+
+        sent = [
+            sum(units(b) for b in procbox if b is not None)
+            for procbox in outboxes
+        ]
+        sent_bytes = [
+            sum(b.nbytes for b in procbox if b is not None and len(b))
+            for procbox in outboxes
+        ]
+        if template is None:
+            template = next(
+                (b for procbox in outboxes for b in procbox if b is not None),
+                None,
+            )
+        if template is None:
+            raise ProtocolError(
+                "exchange_batches needs at least one batch or a template "
+                "to shape empty inboxes"
+            )
+        inboxes: list[RecordBatch] = []
+        for dst in range(self.p):
+            parts = [
+                outboxes[src][dst]
+                for src in range(self.p)
+                if outboxes[src][dst] is not None
+            ]
+            if parts:
+                inboxes.append(RecordBatch.concat(parts))
+            else:
+                inboxes.append(RecordBatch.empty_like(template))
+        received = [units(b) for b in inboxes]
+        self.metrics.record_comm(label, sent, received, sent_bytes)
         self._note_storage(received)
         return inboxes
 
@@ -245,16 +320,26 @@ class Machine:
         label: str,
         outboxes: Sequence[Sequence[Sequence[Any]]],
         weight: Callable[[Any], int],
+        nbytes: "Callable[[Any], int] | None" = None,
     ) -> list[list[Any]]:
         """Like :meth:`exchange` but records carry explicit sizes.
 
         Used when a logical record contains a bulk payload (e.g. a whole
         forest tree of ``n/p`` points, or a report-mode point chunk), so
-        h-relation accounting reflects true data volume.
+        h-relation accounting reflects true data volume.  ``nbytes``
+        overrides the byte attribution per record (default: ``weight``
+        times a nominal record size, so bulk rounds stay accounted
+        without deep-walking the payloads).
         """
         self._validate_outboxes(outboxes)
+        if nbytes is None:
+            nbytes = lambda rec: weight(rec) * 32  # noqa: E731 - nominal record
         sent = [
             sum(weight(rec) for box in procbox for rec in box) for procbox in outboxes
+        ]
+        sent_bytes = [
+            sum(nbytes(rec) for box in procbox for rec in box)
+            for procbox in outboxes
         ]
         inboxes: list[list[Any]] = [[] for _ in range(self.p)]
         received = [0] * self.p
@@ -264,7 +349,7 @@ class Machine:
                 if box:
                     inboxes[dst].extend(box)
                     received[dst] += sum(weight(rec) for rec in box)
-        self.metrics.record_comm(label, sent, received)
+        self.metrics.record_comm(label, sent, received, sent_bytes)
         self._note_storage(received)
         return inboxes
 

@@ -9,7 +9,13 @@ experiment harness reads off:
 * ``max_h``           — the largest h-relation routed (claimed O(s/p)),
 * ``max_work``        — max per-processor charged operations summed over
                         compute steps (claimed O(s/p), O(s log n / p), ...),
-* ``modeled_time``    — the BSP cost under a :class:`~repro.cgm.cost.CostModel`.
+* ``modeled_time``    — the BSP cost under a :class:`~repro.cgm.cost.CostModel`,
+* ``total_comm_bytes`` — routed **bytes** summed over rounds.  The
+                        theorems charge rounds by communication *volume*;
+                        with the columnar data plane the byte figure is
+                        exact (column array sizes), while object-path
+                        rounds carry a sampled structural estimate
+                        (:func:`repro.cgm.columns.estimate_box_nbytes`).
 """
 
 from __future__ import annotations
@@ -48,6 +54,8 @@ class StepRecord:
     #: per-processor records sent / received (comm) — empty for compute
     sent: tuple[int, ...] = ()
     received: tuple[int, ...] = ()
+    #: per-processor bytes sent (comm) — empty when unaccounted
+    sent_bytes: tuple[int, ...] = ()
 
     @property
     def phase(self) -> str:
@@ -65,6 +73,11 @@ class StepRecord:
     def volume(self) -> int:
         """Total records moved in this round."""
         return sum(self.sent)
+
+    @property
+    def volume_bytes(self) -> int:
+        """Total bytes routed in this round (0 when unaccounted)."""
+        return sum(self.sent_bytes)
 
     @property
     def max_ops(self) -> int:
@@ -96,9 +109,21 @@ class Metrics:
             )
         )
 
-    def record_comm(self, label: str, sent: list[int], received: list[int]) -> None:
+    def record_comm(
+        self,
+        label: str,
+        sent: list[int],
+        received: list[int],
+        sent_bytes: "list[int] | None" = None,
+    ) -> None:
         self.steps.append(
-            StepRecord(kind=KIND_COMM, label=label, sent=tuple(sent), received=tuple(received))
+            StepRecord(
+                kind=KIND_COMM,
+                label=label,
+                sent=tuple(sent),
+                received=tuple(received),
+                sent_bytes=tuple(sent_bytes) if sent_bytes is not None else (),
+            )
         )
 
     def reset(self) -> None:
@@ -124,6 +149,24 @@ class Metrics:
     @property
     def total_volume(self) -> int:
         return sum(s.volume for s in self.comm_steps())
+
+    @property
+    def total_comm_bytes(self) -> int:
+        """Bytes routed across all rounds (the Theorem 2-5 volume figure)."""
+        return sum(s.volume_bytes for s in self.comm_steps())
+
+    def comm_bytes_by_round(self) -> list[dict]:
+        """Per-round bytes accounting, in execution order (table-ready)."""
+        return [
+            {
+                "label": s.label,
+                "phase": s.phase,
+                "h": s.h,
+                "records": s.volume,
+                "bytes": s.volume_bytes,
+            }
+            for s in self.comm_steps()
+        ]
 
     @property
     def max_work(self) -> int:
@@ -159,6 +202,7 @@ class Metrics:
             "rounds": self.rounds,
             "max_h": self.max_h,
             "volume": self.total_volume,
+            "comm_bytes": self.total_comm_bytes,
             "max_work": self.max_work,
             "total_work": self.total_work,
             "critical_seconds": round(self.critical_seconds, 6),

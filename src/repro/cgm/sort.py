@@ -25,6 +25,19 @@ wherever the backend's ranks live; items and the ``key`` callable must be
 picklable to sort on the process backend (module-level functions,
 ``functools.partial`` and ``operator.itemgetter`` all qualify; lambdas
 restrict the sort to in-process backends).
+
+Two data planes share the round structure:
+
+* :func:`sample_sort` — the legacy object path: items are arbitrary
+  Python objects, compared by ``(key(item), source rank, source index)``
+  tuples.
+* :func:`sample_sort_cols` — the columnar path: items are
+  :class:`~repro.cgm.columns.RecordBatch` streams; the named key columns
+  (plus implicit source rank/index columns for the same total order) are
+  encoded once into fixed-width byte keys
+  (:func:`~repro.cgm.columns.encode_keys`) and every comparison-heavy
+  step becomes one ``np.argsort`` / ``np.searchsorted``.  Both planes
+  run exactly the same 4 rounds under the same labels.
 """
 
 from __future__ import annotations
@@ -32,13 +45,16 @@ from __future__ import annotations
 import bisect
 from typing import Any, Callable, Sequence, TypeVar
 
-from .collectives import alltoall_broadcast, route_balanced
+import numpy as np
+
+from .collectives import allgather, alltoall_broadcast, route_balanced
+from .columns import RecordBatch, Ragged, encode_keys
 from .machine import Machine
 from .phases import ProcContext, register_phase
 
 T = TypeVar("T")
 
-__all__ = ["sample_sort", "sorted_and_balanced"]
+__all__ = ["sample_sort", "sample_sort_cols", "sorted_and_balanced"]
 
 
 def _first3(t: tuple) -> tuple:
@@ -135,6 +151,187 @@ def sample_sort(
     # Step 6: balanced redistribution (2 rounds: count + route).
     balanced = route_balanced(mach, merged, label=f"{label}:balance")
     return [[t[3] for t in box] for box in balanced]
+
+
+# ---------------------------------------------------------------------------
+# the columnar plane: batches sort by encoded key columns
+# ---------------------------------------------------------------------------
+def _key_columns(batch: RecordBatch, keyspec: tuple) -> list:
+    """Resolve a key spec into 1-D int64 arrays, most significant first.
+
+    A spec entry is a column name — a 1-D column contributes itself, a
+    2-D or uniform-width ragged column contributes *all* its columns in
+    order (tuple comparison of the rows) — or ``(name, j)`` for one
+    column of a matrix.
+    """
+    cols: list = []
+    for sel in keyspec:
+        if isinstance(sel, tuple):
+            name, j = sel
+            col = batch.col(name)
+            mat = col.as_matrix() if isinstance(col, Ragged) else np.asarray(col)
+            cols.append(mat[:, j])
+        else:
+            col = batch.col(sel)
+            mat = col.as_matrix() if isinstance(col, Ragged) else np.asarray(col)
+            if mat.ndim == 2:
+                cols.extend(mat[:, j] for j in range(mat.shape[1]))
+            else:
+                cols.append(mat)
+    return cols
+
+
+@register_phase("cgm.sort.local_cols")
+def _phase_local_sort_cols(ctx: ProcContext, payload) -> list:
+    """Columnar steps 1-2: encode keys, argsort, sample.
+
+    The same total order as the object path — ``(key columns, source
+    rank, source index)`` — encoded into one fixed-width byte key per
+    row, so one stable ``np.argsort`` replaces the comparator tuples.
+    The sorted batch stays rank-resident under the call's state token.
+    """
+    batch, keyspec, token = payload
+    n = len(batch)
+    key_cols = _key_columns(batch, keyspec)
+    key_cols.append(np.full(n, ctx.rank, dtype=np.int64))
+    key_cols.append(np.arange(n, dtype=np.int64))
+    enc = encode_keys(key_cols, n)
+    order = np.argsort(enc, kind="stable")
+    ctx.charge(max(1, n) * max(1, n.bit_length()))
+    sorted_batch = batch.take(order).with_col("__key", enc[order])
+    ctx.state[token] = sorted_batch
+    samples: list = []
+    if n:
+        step = max(1, n // ctx.p)
+        samples = [bytes(k) for k in sorted_batch.col("__key")[::step]]
+    return samples
+
+
+@register_phase("cgm.sort.partition_cols")
+def _phase_partition_cols(ctx: ProcContext, payload) -> list:
+    """Columnar step 4a: slice the stashed run at the splitters."""
+    splitters, token = payload
+    batch: RecordBatch = ctx.state.pop(token)
+    p = ctx.p
+    n = len(batch)
+    ctx.charge(n)
+    out: list = [None] * p
+    if n == 0:
+        return out
+    enc = batch.col("__key")
+    if splitters:
+        # side="left": a row *equal* to a splitter lands after it, exactly
+        # like the object path's ``bisect_right`` over the item tuples
+        # (keys are unique, so the sampled row itself crosses the cut).
+        bounds = np.searchsorted(
+            enc, np.asarray(splitters, dtype=enc.dtype), side="left"
+        )
+    else:
+        bounds = np.empty(0, dtype=np.int64)
+    start = 0
+    for dest, bound in enumerate(bounds):
+        if bound > start:
+            out[dest] = batch.islice(start, int(bound))
+        start = int(bound)
+    if start < n:
+        out[min(len(bounds), p - 1)] = batch.islice(start, n)
+    return out
+
+
+@register_phase("cgm.sort.merge_cols")
+def _phase_merge_cols(ctx: ProcContext, payload) -> RecordBatch:
+    """Columnar step 5: re-sort the concatenation of the received runs."""
+    batch: RecordBatch = payload
+    n = len(batch)
+    order = np.argsort(batch.col("__key"), kind="stable")
+    ctx.charge(max(1, n) * max(1, n.bit_length()))
+    return batch.take(order)
+
+
+def _empty_keyed(template: RecordBatch) -> RecordBatch:
+    """A zero-row schema batch carrying an empty ``__key`` column."""
+    empty = RecordBatch.empty_like(template)
+    if "__key" not in empty.cols:
+        empty = empty.with_col("__key", np.empty(0, dtype="S1"))
+    return empty
+
+
+def _route_balanced_cols(
+    mach: Machine,
+    batches: Sequence[RecordBatch],
+    label: str,
+    template: RecordBatch,
+) -> list[RecordBatch]:
+    """Balanced redistribution of batches (2 rounds: count + route)."""
+    p = mach.p
+    counts = [len(b) for b in batches]
+    all_counts = allgather(mach, counts, label=f"{label}-count")[0]
+    total = sum(all_counts)
+    if total == 0:
+        return [_empty_keyed(template) for _ in range(p)]
+    chunk = -(-total // p)
+    outboxes: list[list] = [[None] * p for _ in range(p)]
+    base = 0
+    for r in range(p):
+        n = counts[r]
+        if n:
+            # this rank's rows occupy global positions [base, base + n);
+            # destination d owns [d*chunk, (d+1)*chunk) (last takes the rest)
+            for d in range(min(base // chunk, p - 1), p):
+                lo = max(base, d * chunk)
+                hi = base + n if d == p - 1 else min(base + n, (d + 1) * chunk)
+                if hi > lo:
+                    outboxes[r][d] = batches[r].islice(lo - base, hi - base)
+                if hi >= base + n:
+                    break
+        base += all_counts[r]
+    return mach.exchange_batches(label, outboxes, template)
+
+
+def sample_sort_cols(
+    mach: Machine,
+    batches: Sequence[RecordBatch],
+    keyspec: Sequence[Any],
+    label: str = "sort",
+) -> list[RecordBatch]:
+    """Globally sort distributed record batches by the named key columns.
+
+    The columnar twin of :func:`sample_sort`: same 4 communication
+    rounds under the same labels, same balanced ``ceil(N/p)`` output,
+    same ``(key, source rank, source index)`` total order — but every
+    local step is an ``np.argsort``/``np.searchsorted`` over encoded key
+    bytes and the routed payloads are whole column arrays.
+    """
+    p = mach.p
+    token = mach.new_ns("sortbuf")
+    keyspec = tuple(keyspec)
+
+    samples_per_rank = mach.run_phase(
+        f"{label}:local-sort",
+        "cgm.sort.local_cols",
+        [(batches[r], keyspec, token) for r in range(p)],
+    )
+
+    all_samples = alltoall_broadcast(mach, samples_per_rank, label=f"{label}:samples")
+
+    pool = sorted(all_samples[0])
+    splitters: list[bytes] = []
+    if pool and p > 1:
+        step = max(1, len(pool) // p)
+        splitters = [pool[j] for j in range(step, len(pool), step)][: p - 1]
+
+    rows = mach.run_phase(
+        f"{label}:partition",
+        "cgm.sort.partition_cols",
+        [(splitters, token)] * p,
+    )
+    template = _empty_keyed(batches[0])
+    inboxes = mach.exchange_batches(f"{label}:route", rows, template)
+
+    merged = mach.run_phase(f"{label}:merge", "cgm.sort.merge_cols", inboxes)
+
+    balanced = _route_balanced_cols(mach, merged, f"{label}:balance", template)
+    return [b.drop("__key") for b in balanced]
 
 
 def sorted_and_balanced(

@@ -110,7 +110,15 @@ def _phase_refit_refresh(ctx: ProcContext, payload) -> None:
             ctx.charge(hat.size_nodes())
 
 
-def _deprecated(old: str, new: str) -> None:
+def _warn_deprecated(old: str, new: str) -> None:
+    """Emit the wrapper deprecation, attributed to the *migration site*.
+
+    Frames at warn time: 1 = this helper, 2 = the wrapper method,
+    3 = the wrapper's caller — so ``stacklevel=3`` here is exactly
+    ``stacklevel=2`` written inline in the wrapper: the warning's
+    filename/lineno point at the user's call (asserted by
+    ``test_warning_points_at_the_caller``).
+    """
     warnings.warn(
         f"DistributedRangeTree.{old} is deprecated; use {new} "
         "(the repro.query layer — see docs/ARCHITECTURE.md, 'Query layer')",
@@ -349,7 +357,7 @@ class DistributedRangeTree:
         """Deprecated: use ``run([repro.query.count(box), ...])``."""
         from ..query import QueryBatch, count
 
-        _deprecated("batch_count", "run([repro.query.count(box), ...])")
+        _warn_deprecated("batch_count", "run([repro.query.count(box), ...])")
         return self.run(
             QueryBatch([count(b) for b in boxes], replication=replication)
         ).values()
@@ -360,7 +368,7 @@ class DistributedRangeTree:
         """Deprecated: use ``run([repro.query.report(box), ...])``."""
         from ..query import QueryBatch, report
 
-        _deprecated("batch_report", "run([repro.query.report(box), ...])")
+        _warn_deprecated("batch_report", "run([repro.query.report(box), ...])")
         return self.run(
             QueryBatch([report(b) for b in boxes], replication=replication)
         ).values()
@@ -371,7 +379,7 @@ class DistributedRangeTree:
         """Deprecated: use ``run([repro.query.aggregate(box), ...])``."""
         from ..query import QueryBatch, aggregate
 
-        _deprecated("batch_aggregate", "run([repro.query.aggregate(box), ...])")
+        _warn_deprecated("batch_aggregate", "run([repro.query.aggregate(box), ...])")
         return self.run(
             QueryBatch([aggregate(b) for b in boxes], replication=replication)
         ).values()
@@ -381,21 +389,21 @@ class DistributedRangeTree:
         """Deprecated: use ``run(repro.query.count(box)).value(0)``."""
         from ..query import count
 
-        _deprecated("query_count", "run(repro.query.count(box)).value(0)")
+        _warn_deprecated("query_count", "run(repro.query.count(box)).value(0)")
         return self.run(count(box)).value(0)
 
     def query_report(self, box: Box) -> List[int]:
         """Deprecated: use ``run(repro.query.report(box)).value(0)``."""
         from ..query import report
 
-        _deprecated("query_report", "run(repro.query.report(box)).value(0)")
+        _warn_deprecated("query_report", "run(repro.query.report(box)).value(0)")
         return self.run(report(box)).value(0)
 
     def query_aggregate(self, box: Box) -> Any:
         """Deprecated: use ``run(repro.query.aggregate(box)).value(0)``."""
         from ..query import aggregate
 
-        _deprecated("query_aggregate", "run(repro.query.aggregate(box)).value(0)")
+        _warn_deprecated("query_aggregate", "run(repro.query.aggregate(box)).value(0)")
         return self.run(aggregate(box)).value(0)
 
     # ------------------------------------------------------------------

@@ -42,16 +42,27 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, List, Sequence
 
+import numpy as np
+
 from .._util import ilog2, require_power_of_two
 from ..cgm.collectives import (
+    allgather,
     alltoall_broadcast,
     global_positions,
     route,
+    route_batches,
     segmented_partial_sum,
+)
+from ..cgm.columns import (
+    Ragged,
+    RecordBatch,
+    columnar_enabled,
+    encode_keys,
+    obj_col,
 )
 from ..cgm.machine import Machine
 from ..cgm.phases import ProcContext, register_phase
-from ..cgm.sort import sample_sort
+from ..cgm.sort import sample_sort, sample_sort_cols
 from ..errors import MachineError
 from ..geometry.rankspace import RankedPointSet
 from ..semigroup import Semigroup
@@ -64,7 +75,7 @@ from .labeling import (
     root_index_of_tree,
     root_level_of_tree,
 )
-from .records import ForestRootInfo, SRecord
+from .records import ForestRootInfo, SRecord, flatten_path, unflatten_path
 
 __all__ = ["ConstructResult", "construct_distributed_tree"]
 
@@ -221,6 +232,206 @@ def _phase_build_hat(ctx: ProcContext, payload) -> "Hat | None":
     return hat if ctx.rank == 0 else None
 
 
+# ---------------------------------------------------------------------------
+# the columnar plane: SRecord traffic as column packs
+# ---------------------------------------------------------------------------
+def _empty_srecord_batch(d: int, tid_width: int) -> RecordBatch:
+    return RecordBatch(
+        "dist.srecord",
+        {
+            "tree_id": Ragged.from_matrix(np.empty((0, tid_width), dtype=np.int64)),
+            "ranks": np.empty((0, d), dtype=np.int64),
+            "pid": np.empty(0, dtype=np.int64),
+            "value": np.empty(0, dtype=object),
+        },
+        0,
+    )
+
+
+@register_phase("dist.construct.scatter_cols")
+def _phase_scatter_cols(ctx: ProcContext, payload) -> RecordBatch:
+    """Initial distribution, columnar: this rank's block as one batch."""
+    rank_rows, ids, values = payload
+    n = len(ids)
+    ctx.charge(n)
+    return RecordBatch(
+        "dist.srecord",
+        {
+            "tree_id": Ragged.from_matrix(np.empty((n, 0), dtype=np.int64)),
+            "ranks": np.ascontiguousarray(rank_rows, dtype=np.int64),
+            "pid": np.asarray(ids, dtype=np.int64),
+            "value": obj_col(list(values)),
+        },
+        n,
+    )
+
+
+@register_phase("dist.construct.build_elements_cols")
+def _phase_build_elements_cols(ctx: ProcContext, payload) -> dict:
+    """Construct step 3-4, columnar: slice the routed batch into groups.
+
+    The inbox batch arrives in ascending global (rank) order — the sort
+    plus the deterministic source-ordered merge guarantee it — so each
+    forest group is one contiguous row range.  Element construction and
+    the phase ``j+1`` fan-out are pure array ops: ``np.repeat`` the
+    point columns per hat ancestor, ``np.tile`` the ancestor paths.
+    """
+    batch: RecordBatch = payload["inbox"]
+    j = payload["j"]
+    group_base = payload["group_base"]
+    logn = payload["logn"]
+    leaf_level = payload["leaf_level"]
+    d = payload["d"]
+    semigroup = payload["semigroup"]
+    ns = payload["ns"]
+
+    r = ctx.rank
+    store = ctx.state.setdefault(forest_key(ns), {})
+    stored_key = f"{ns}:stored_records"
+    roots: List[ForestRootInfo] = []
+
+    n = len(batch)
+    gcol = np.asarray(batch.col("__g"))
+    leaf_mcol = np.asarray(batch.col("__leaf_m"))
+    tid = batch.col("tree_id")
+    tid_mat = tid.flat.reshape(n, 2 * j) if n else np.empty((0, 2 * j), np.int64)
+    ranks = batch.col("ranks")
+    pids = batch.col("pid")
+    values = batch.col("value")
+
+    next_tid: List[np.ndarray] = []
+    next_ranks: List[np.ndarray] = []
+    next_pid: List[np.ndarray] = []
+    next_val: List[np.ndarray] = []
+
+    if n:
+        change = np.nonzero(gcol[1:] != gcol[:-1])[0] + 1
+        starts = np.concatenate(([0], change))
+        ends = np.concatenate((change, [n]))
+    else:
+        starts = ends = np.empty(0, dtype=np.int64)
+
+    for s, e in zip(starts, ends):
+        s, e = int(s), int(e)
+        g = int(gcol[s])
+        leaf_m = int(leaf_mcol[s])
+        tree_id = unflatten_path(tid_mat[s])
+        root_idx = root_index_of_tree(tree_id)
+        root_lvl = root_level_of_tree(tree_id, primary_height=logn)
+        idx = leaf_index(root_idx, root_lvl, leaf_level, leaf_m)
+        fid = make_path(idx, leaf_level, tree_id)
+        el = build_forest_element(
+            forest_id=fid,
+            dim=j,
+            location=r,
+            group_rank=group_base + g,
+            ranks_rows=ranks[s:e],
+            pids=pids[s:e],
+            values=values[s:e],
+            semigroup=semigroup,
+        )
+        store[fid] = el
+        roots.append(el.root_info())
+        ctx.state[stored_key] = ctx.state.get(stored_key, 0) + el.size_records
+        ctx.charge(el.size_records)
+        if j < d - 1:
+            ancs = list(hat_ancestor_paths(idx, leaf_level, root_lvl, tree_id))
+            if ancs:
+                anc_mat = np.asarray(
+                    [flatten_path(a) for a in ancs], dtype=np.int64
+                )
+                cnt = e - s
+                # per member, one record per ancestor (member-major order,
+                # exactly the object path's emission order)
+                next_tid.append(np.tile(anc_mat, (cnt, 1)))
+                next_ranks.append(np.repeat(ranks[s:e], len(ancs), axis=0))
+                next_pid.append(np.repeat(pids[s:e], len(ancs)))
+                next_val.append(np.repeat(values[s:e], len(ancs)))
+            ctx.charge(e - s)
+
+    if next_tid:
+        next_batch = RecordBatch(
+            "dist.srecord",
+            {
+                "tree_id": Ragged.from_matrix(np.vstack(next_tid)),
+                "ranks": np.vstack(next_ranks),
+                "pid": np.concatenate(next_pid),
+                "value": np.concatenate(next_val),
+            },
+        )
+    else:
+        next_batch = _empty_srecord_batch(d, 2 * (j + 1))
+    held = ctx.state.get(stored_key, 0) + len(next_batch)
+    return {"roots": roots, "next_records": next_batch, "held": held}
+
+
+def _in_tree_positions_cols(
+    mach: Machine, batches: Sequence[RecordBatch], label: str
+) -> List[np.ndarray]:
+    """Columnar step 2a: 1-based rank of every record inside its tree.
+
+    The columnar twin of the ``(tree_id, 1)`` segmented prefix sum: one
+    all-gather of per-rank run summaries (same round, same label), then
+    pure array arithmetic for the within-run positions and the carry
+    into each rank's first run.
+    """
+    p = mach.p
+    encs: List[np.ndarray] = []
+    summaries: List[tuple] = []
+    for r in range(p):
+        b = batches[r]
+        n = len(b)
+        tid = b.col("tree_id")
+        w = tid.uniform_width() or 0
+        mat = tid.flat.reshape(n, w)
+        enc = encode_keys([mat[:, c] for c in range(w)], n)
+        encs.append(enc)
+        if n:
+            diff = np.nonzero(enc[:-1] != enc[1:])[0]
+            last_run = n if len(diff) == 0 else n - int(diff[-1]) - 1
+            summaries.append(
+                (True, bytes(enc[0]), bytes(enc[-1]), last_run, len(diff) == 0)
+            )
+        else:
+            summaries.append((False, None, None, 0, True))
+    info = allgather(mach, summaries, label=label)[0]
+
+    out: List[np.ndarray] = []
+    for r in range(p):
+        enc = encs[r]
+        n = len(enc)
+        if n == 0:
+            out.append(np.empty(0, dtype=np.int64))
+            continue
+        idxs = np.arange(n, dtype=np.int64)
+        boundary = np.empty(n, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = enc[1:] != enc[:-1]
+        run_start = np.maximum.accumulate(np.where(boundary, idxs, 0))
+        pos = idxs - run_start + 1
+        # carry into the first run from left neighbours ending in the same tree
+        first = bytes(enc[0])
+        carry = 0
+        q = r - 1
+        while q >= 0:
+            nonempty, _f, l_enc, l_run, single = info[q]
+            if not nonempty:
+                q -= 1
+                continue
+            if l_enc != first:
+                break
+            carry += l_run
+            if not single:
+                break
+            q -= 1
+        if carry:
+            later = np.nonzero(boundary[1:])[0]
+            first_run_len = int(later[0]) + 1 if len(later) else n
+            pos[:first_run_len] += carry
+        out.append(pos)
+    return out
+
+
 def construct_distributed_tree(
     mach: Machine,
     ranked: RankedPointSet,
@@ -255,9 +466,10 @@ def construct_distributed_tree(
 
     # Initial distribution: block of n/p point records per processor (the
     # CGM input convention; a local-computation step, no round).
+    columnar = columnar_enabled()
     current = mach.run_phase(
         "construct:scatter-points",
-        "dist.construct.scatter",
+        "dist.construct.scatter_cols" if columnar else "dist.construct.scatter",
         [
             (
                 ranked.ranks[r * k : (r + 1) * k],
@@ -277,43 +489,89 @@ def construct_distributed_tree(
         phase_counts.append(sum(len(box) for box in current))
 
         # -- step 1: the black-box CGM sort --------------------------------
-        current = sample_sort(
-            mach,
-            current,
-            key=_SortKey(j),
-            label=f"{label}:sort",
-        )
+        if columnar:
+            current = sample_sort_cols(
+                mach,
+                current,
+                keyspec=("tree_id", ("ranks", j)),
+                label=f"{label}:sort",
+            )
+        else:
+            current = sample_sort(
+                mach,
+                current,
+                key=_SortKey(j),
+                label=f"{label}:sort",
+            )
 
         # -- step 2: name positions (within tree + global) -----------------
-        in_tree = segmented_partial_sum(
-            mach,
-            [[(rec.tree_id, 1) for rec in box] for box in current],
-            op=lambda a, b: a + b,
-            zero=0,
-            label=f"{label}:tree-rank",
-        )
-        positions, total = global_positions(mach, current, label=f"{label}:positions")
+        if columnar:
+            in_tree = _in_tree_positions_cols(
+                mach, current, label=f"{label}:tree-rank"
+            )
+            all_counts = allgather(
+                mach, [len(b) for b in current], label=f"{label}:positions"
+            )[0]
+            total = sum(all_counts)
+        else:
+            in_tree = segmented_partial_sum(
+                mach,
+                [[(rec.tree_id, 1) for rec in box] for box in current],
+                op=lambda a, b: a + b,
+                zero=0,
+                label=f"{label}:tree-rank",
+            )
+            positions, total = global_positions(
+                mach, current, label=f"{label}:positions"
+            )
         ngroups = total // k
 
         # -- step 3: route groups to their owners (group g -> g mod p) -----
-        tagged: List[List[tuple]] = [
-            [
-                (pos // k, (pit - 1) // k, rec)
-                for pos, pit, rec in zip(positions[r], in_tree[r], current[r])
+        if columnar:
+            tagged_cols: List[Any] = []
+            dests: List[np.ndarray] = []
+            base = 0
+            for r in range(p):
+                n_r = len(current[r])
+                g = (base + np.arange(n_r, dtype=np.int64)) // k
+                leaf_m = (
+                    (in_tree[r] - 1) // k
+                    if n_r
+                    else np.empty(0, dtype=np.int64)
+                )
+                tagged_cols.append(
+                    current[r].with_col("__g", g).with_col("__leaf_m", leaf_m)
+                )
+                dests.append((group_base + g) % p)
+                base += all_counts[r]
+            inboxes = route_batches(
+                mach,
+                tagged_cols,
+                dests,
+                label=f"{label}:route-groups",
+                template=tagged_cols[0].islice(0, 0),
+            )
+        else:
+            tagged: List[List[tuple]] = [
+                [
+                    (pos // k, (pit - 1) // k, rec)
+                    for pos, pit, rec in zip(positions[r], in_tree[r], current[r])
+                ]
+                for r in range(p)
             ]
-            for r in range(p)
-        ]
-        inboxes = route(
-            mach,
-            tagged,
-            lambda _r, item: (group_base + item[0]) % p,
-            label=f"{label}:route-groups",
-        )
+            inboxes = route(
+                mach,
+                tagged,
+                lambda _r, item: (group_base + item[0]) % p,
+                label=f"{label}:route-groups",
+            )
 
         # -- step 4: build elements + fan out next-phase records locally ----
         built = mach.run_phase(
             f"{label}:build-elements",
-            "dist.construct.build_elements",
+            "dist.construct.build_elements_cols"
+            if columnar
+            else "dist.construct.build_elements",
             [
                 {
                     "inbox": inboxes[r],

@@ -50,6 +50,7 @@ class ForestElement:
         "values",
         "semigroup",
         "tree",
+        "_pids_arr",
     )
 
     def __init__(
@@ -72,6 +73,7 @@ class ForestElement:
         self.values = list(values)
         self.semigroup = semigroup
         self.tree = RangeTree(self.ranks, self.values, semigroup, start_dim=dim)
+        self._pids_arr: "np.ndarray | None" = None
 
     # ------------------------------------------------------------------
     # structure
@@ -119,13 +121,28 @@ class ForestElement:
         """
         return self.tree.canonical(box, stats=stats)
 
+    @property
+    def pids_array(self) -> np.ndarray:
+        """The pids as an int64 array (cached; the columnar gather path)."""
+        if self._pids_arr is None:
+            self._pids_arr = np.asarray(self.pids, dtype=np.int64)
+        return self._pids_arr
+
     def selection_pids(self, selection: CanonicalSelection) -> Tuple[int, ...]:
         """Point ids below one selected node (report mode)."""
         return tuple(self.pids[r] for r in selection.rows())
 
+    def selection_pids_array(self, selection: CanonicalSelection) -> np.ndarray:
+        """Point ids below one selected node, as an array row (no tuples)."""
+        return self.pids_array[selection.rows()]
+
     def all_pids(self) -> Tuple[int, ...]:
         """Every point id in the element, ordered by its primary-dimension rank."""
         return tuple(self.pids[r] for r in self.tree.root_tree.order)
+
+    def all_pids_array(self) -> np.ndarray:
+        """Array twin of :meth:`all_pids` (the in-pass expansion gather)."""
+        return self.pids_array[self.tree.root_tree.order]
 
     # ------------------------------------------------------------------
     # re-annotation (Algorithm AssociativeFunction step 1)
@@ -162,9 +179,14 @@ def build_forest_element(
     ``ranks_rows`` are the group's global rank vectors — contiguous in
     dimension ``dim`` (they tile the hat leaf named by ``forest_id``) —
     with ``pids`` and lifted ``values`` aligned row for row.  The group
-    size must be a power of two (``n/p`` by construction).
+    size must be a power of two (``n/p`` by construction).  A 2-D int
+    array passes through without per-row conversion (the columnar data
+    plane hands the routed batch's rank matrix straight in).
     """
-    ranks = np.asarray([tuple(r) for r in ranks_rows], dtype=np.int64)
+    if isinstance(ranks_rows, np.ndarray):
+        ranks = np.ascontiguousarray(ranks_rows, dtype=np.int64)
+    else:
+        ranks = np.asarray([tuple(r) for r in ranks_rows], dtype=np.int64)
     return ForestElement(
         forest_id=forest_id,
         dim=dim,

@@ -24,13 +24,24 @@ message could not carry.
   Search step-4 routing round so mixed-mode batches need no extra round.
 * :class:`ReportUnit` — a weighted chunk of report-mode output pairs
   (Theorem 5's ``O(k/p)`` balancing operates on these).
+
+The dataclasses are the *per-record view*; the hot paths move these
+streams as column packs (:mod:`repro.cgm.columns`).  Every record type
+registers a :class:`~repro.cgm.columns.RecordCodec` here — paths and
+tree ids flatten into ragged int64 columns, rank vectors into ``(n, d)``
+matrices, and only semigroup values stay an object column — so
+``RecordBatch.from_records`` / lazy iteration round-trip each stream
+exactly (property-tested in ``tests/test_columns.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Tuple
+from typing import Any, List, Sequence, Tuple
 
+import numpy as np
+
+from ..cgm.columns import Ragged, RecordCodec, obj_col as _obj_col, register_codec
 from .labeling import Path, TreeId, tree_id_of
 
 __all__ = [
@@ -41,6 +52,8 @@ __all__ = [
     "ForestSelection",
     "ExpandRequest",
     "ReportUnit",
+    "flatten_path",
+    "unflatten_path",
 ]
 
 
@@ -164,3 +177,281 @@ class ReportUnit:
     @property
     def weight(self) -> int:
         return len(self.ids)
+
+
+# ---------------------------------------------------------------------------
+# columnar codecs: the batch-packed view of each record stream
+# ---------------------------------------------------------------------------
+def flatten_path(path: Path) -> List[int]:
+    """A Definition 2 path as a flat int list (``(i, l)`` pairs in order)."""
+    return [x for pair in path for x in pair]
+
+
+def unflatten_path(row: Sequence[int]) -> Path:
+    """Inverse of :func:`flatten_path` (yields plain Python ints)."""
+    return tuple(
+        (int(row[i]), int(row[i + 1])) for i in range(0, len(row), 2)
+    )
+
+
+def _path_col(paths: Sequence[Path]) -> Ragged:
+    return Ragged.from_rows([flatten_path(p) for p in paths])
+
+
+def _int_col(values) -> np.ndarray:
+    return np.fromiter(values, dtype=np.int64, count=-1)
+
+
+def _rank_matrix(rows: Sequence[Sequence[int]]) -> np.ndarray:
+    if not rows:
+        return np.empty((0, 0), dtype=np.int64)
+    return np.asarray([tuple(r) for r in rows], dtype=np.int64)
+
+
+class SRecordCodec(RecordCodec):
+    """``SRecord`` ⇄ columns ``tree_id`` (ragged), ``ranks``, ``pid``, ``value``.
+
+    Within one Construct phase every tree id has the same length, so the
+    ragged column doubles as a fixed-width key matrix for the phase sort.
+    """
+
+    name = "dist.srecord"
+    record_type = SRecord
+
+    def pack(self, records):
+        return {
+            "tree_id": _path_col([r.tree_id for r in records]),
+            "ranks": _rank_matrix([r.ranks for r in records]),
+            "pid": _int_col(r.pid for r in records),
+            "value": _obj_col([r.value for r in records]),
+        }
+
+    def unpack(self, cols, i):
+        return SRecord(
+            tree_id=unflatten_path(cols["tree_id"].row(i)),
+            ranks=tuple(int(x) for x in cols["ranks"][i]),
+            pid=int(cols["pid"][i]),
+            value=cols["value"][i],
+        )
+
+
+class ForestRootInfoCodec(RecordCodec):
+    name = "dist.forest_root_info"
+    record_type = ForestRootInfo
+
+    def pack(self, records):
+        return {
+            "path": _path_col([r.path for r in records]),
+            "dim": _int_col(r.dim for r in records),
+            "seg": _rank_matrix([r.seg for r in records]),
+            "nleaves": _int_col(r.nleaves for r in records),
+            "location": _int_col(r.location for r in records),
+            "group_rank": _int_col(r.group_rank for r in records),
+            "agg": _obj_col([r.agg for r in records]),
+        }
+
+    def unpack(self, cols, i):
+        return ForestRootInfo(
+            path=unflatten_path(cols["path"].row(i)),
+            dim=int(cols["dim"][i]),
+            seg=tuple(int(x) for x in cols["seg"][i]),
+            nleaves=int(cols["nleaves"][i]),
+            location=int(cols["location"][i]),
+            group_rank=int(cols["group_rank"][i]),
+            agg=cols["agg"][i],
+        )
+
+
+class HatSelectionCodec(RecordCodec):
+    """Hat selections: the leaf tiling (``forest_ids``) is a tuple of
+    *paths of varying length*, so it stays an object column — the walk
+    output never rides a sort, only the demand/expansion bookkeeping."""
+
+    name = "dist.hat_selection"
+    record_type = HatSelectionRecord
+
+    def pack(self, records):
+        return {
+            "qid": _int_col(r.qid for r in records),
+            "path": _path_col([r.path for r in records]),
+            "nleaves": _int_col(r.nleaves for r in records),
+            "agg": _obj_col([r.agg for r in records]),
+            "forest_ids": _obj_col([r.forest_ids for r in records]),
+            "locations": Ragged.from_rows([r.locations for r in records]),
+        }
+
+    def unpack(self, cols, i):
+        return HatSelectionRecord(
+            qid=int(cols["qid"][i]),
+            path=unflatten_path(cols["path"].row(i)),
+            nleaves=int(cols["nleaves"][i]),
+            agg=cols["agg"][i],
+            forest_ids=cols["forest_ids"][i],
+            locations=tuple(int(x) for x in cols["locations"].row(i)),
+        )
+
+
+class SubqueryCodec(RecordCodec):
+    name = "dist.subquery"
+    record_type = Subquery
+
+    def pack(self, records):
+        return {
+            "qid": _int_col(r.qid for r in records),
+            "los": _rank_matrix([r.los for r in records]),
+            "his": _rank_matrix([r.his for r in records]),
+            "forest_id": _path_col([r.forest_id for r in records]),
+            "location": _int_col(r.location for r in records),
+        }
+
+    def unpack(self, cols, i):
+        return Subquery(
+            qid=int(cols["qid"][i]),
+            los=tuple(int(x) for x in cols["los"][i]),
+            his=tuple(int(x) for x in cols["his"][i]),
+            forest_id=unflatten_path(cols["forest_id"].row(i)),
+            location=int(cols["location"][i]),
+        )
+
+
+class ForestSelectionCodec(RecordCodec):
+    name = "dist.forest_selection"
+    record_type = ForestSelection
+
+    def pack(self, records):
+        return {
+            "qid": _int_col(r.qid for r in records),
+            "forest_id": _path_col([r.forest_id for r in records]),
+            "nleaves": _int_col(r.nleaves for r in records),
+            "agg": _obj_col([r.agg for r in records]),
+            "pid_tuple": Ragged.from_rows([r.pid_tuple for r in records]),
+        }
+
+    def unpack(self, cols, i):
+        return ForestSelection(
+            qid=int(cols["qid"][i]),
+            forest_id=unflatten_path(cols["forest_id"].row(i)),
+            nleaves=int(cols["nleaves"][i]),
+            agg=cols["agg"][i],
+            pid_tuple=tuple(int(x) for x in cols["pid_tuple"].row(i)),
+        )
+
+
+class ExpandRequestCodec(RecordCodec):
+    name = "dist.expand_request"
+    record_type = ExpandRequest
+
+    def pack(self, records):
+        return {
+            "qid": _int_col(r.qid for r in records),
+            "forest_id": _path_col([r.forest_id for r in records]),
+            "location": _int_col(r.location for r in records),
+        }
+
+    def unpack(self, cols, i):
+        return ExpandRequest(
+            qid=int(cols["qid"][i]),
+            forest_id=unflatten_path(cols["forest_id"].row(i)),
+            location=int(cols["location"][i]),
+        )
+
+
+class ReportUnitCodec(RecordCodec):
+    name = "dist.report_unit"
+    record_type = ReportUnit
+
+    def pack(self, records):
+        return {
+            "qid": _int_col(r.qid for r in records),
+            "ids": Ragged.from_rows([r.ids for r in records]),
+        }
+
+    def unpack(self, cols, i):
+        return ReportUnit(
+            qid=int(cols["qid"][i]),
+            ids=tuple(int(x) for x in cols["ids"].row(i)),
+        )
+
+
+class RoutingCodec(RecordCodec):
+    """The Search step-4 routing stream: subqueries and expansion
+    requests share one exchange round, so they share one batch schema.
+
+    ``kind`` 0 packs a :class:`Subquery` (``los``/``his`` valid), kind 1
+    an :class:`ExpandRequest` (box rows zeroed) — unpacking yields the
+    original dataclass per row, preserving the mixed stream exactly.
+    """
+
+    name = "dist.search.routing"
+    record_type = object  # mixed stream; resolved per row by `kind`
+
+    KIND_SUBQUERY = 0
+    KIND_EXPAND = 1
+
+    def pack(self, records):
+        d = 0
+        for r in records:
+            if isinstance(r, Subquery):
+                d = len(r.los)
+                break
+        zeros = (0,) * d
+        return {
+            "kind": _int_col(
+                self.KIND_SUBQUERY if isinstance(r, Subquery) else self.KIND_EXPAND
+                for r in records
+            ),
+            "qid": _int_col(r.qid for r in records),
+            "los": _rank_matrix(
+                [r.los if isinstance(r, Subquery) else zeros for r in records]
+            ),
+            "his": _rank_matrix(
+                [r.his if isinstance(r, Subquery) else zeros for r in records]
+            ),
+            "forest_id": _path_col([r.forest_id for r in records]),
+            "location": _int_col(r.location for r in records),
+        }
+
+    def unpack(self, cols, i):
+        if int(cols["kind"][i]) == self.KIND_EXPAND:
+            return ExpandRequest(
+                qid=int(cols["qid"][i]),
+                forest_id=unflatten_path(cols["forest_id"].row(i)),
+                location=int(cols["location"][i]),
+            )
+        return Subquery(
+            qid=int(cols["qid"][i]),
+            los=tuple(int(x) for x in cols["los"][i]),
+            his=tuple(int(x) for x in cols["his"][i]),
+            forest_id=unflatten_path(cols["forest_id"].row(i)),
+            location=int(cols["location"][i]),
+        )
+
+
+class ReportPairCodec(RecordCodec):
+    """In-pass expansion output: plain ``(qid, pid)`` pairs as two int columns."""
+
+    name = "dist.report_pair"
+    record_type = object  # the per-record view is a plain tuple
+
+    def pack(self, records):
+        return {
+            "qid": _int_col(q for q, _ in records),
+            "pid": _int_col(pid for _, pid in records),
+        }
+
+    def unpack(self, cols, i):
+        return (int(cols["qid"][i]), int(cols["pid"][i]))
+
+
+for _codec in (
+    SRecordCodec(),
+    ForestRootInfoCodec(),
+    HatSelectionCodec(),
+    SubqueryCodec(),
+    ForestSelectionCodec(),
+    ExpandRequestCodec(),
+    ReportUnitCodec(),
+    RoutingCodec(),
+    ReportPairCodec(),
+):
+    register_codec(_codec)

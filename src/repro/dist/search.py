@@ -46,10 +46,13 @@ in-process backends, by pickle on the process backend.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Collection, List, Sequence, Tuple
+from typing import Any, Collection, List, Sequence, Tuple
+
+import numpy as np
 
 from .._util import ilog2
-from ..cgm.collectives import allgather
+from ..cgm.collectives import allgather, route_batches
+from ..cgm.columns import Ragged, RecordBatch, columnar_enabled
 from ..cgm.loadbalance import (
     assign_copies_round_robin,
     compute_copy_counts,
@@ -62,7 +65,15 @@ from ..geometry.box import RankBox
 from ..seq.segment_tree import WalkStats
 from .construct import forest_key, hat_key
 from .hat import Hat
-from .records import ExpandRequest, ForestSelection, HatSelectionRecord, Subquery
+from .records import (
+    ExpandRequest,
+    ForestSelection,
+    HatSelectionRecord,
+    RoutingCodec,
+    Subquery,
+    flatten_path,
+    unflatten_path,
+)
 
 __all__ = ["SearchOutput", "run_search"]
 
@@ -125,6 +136,168 @@ def _phase_walk(ctx: ProcContext, payload) -> tuple:
         sels.extend(s)
         subqs.extend(q)
     return sels, subqs
+
+
+# ---------------------------------------------------------------------------
+# the columnar plane: routed subquery/expansion/selection traffic as batches
+# ---------------------------------------------------------------------------
+def _pack_routing(records: Sequence[Any], d: int) -> RecordBatch:
+    """Pack a mixed Subquery/ExpandRequest stream with a known box width.
+
+    The codec's generic :meth:`pack` infers ``d`` from the first subquery
+    present; the search driver knows the batch dimension, so empty and
+    expansion-only boxes still get correctly-shaped ``(n, d)`` columns
+    (batch concatenation across sources needs uniform shapes).
+    """
+    n = len(records)
+    kind = np.empty(n, dtype=np.int64)
+    qid = np.empty(n, dtype=np.int64)
+    loc = np.empty(n, dtype=np.int64)
+    los = np.zeros((n, d), dtype=np.int64)
+    his = np.zeros((n, d), dtype=np.int64)
+    fid_rows: List[List[int]] = []
+    for i, r in enumerate(records):
+        qid[i] = r.qid
+        loc[i] = r.location
+        fid_rows.append(flatten_path(r.forest_id))
+        if isinstance(r, Subquery):
+            kind[i] = RoutingCodec.KIND_SUBQUERY
+            los[i] = r.los
+            his[i] = r.his
+        else:
+            kind[i] = RoutingCodec.KIND_EXPAND
+    return RecordBatch(
+        "dist.search.routing",
+        {
+            "kind": kind,
+            "qid": qid,
+            "los": los,
+            "his": his,
+            "forest_id": Ragged.from_rows(fid_rows),
+            "location": loc,
+        },
+        n,
+    )
+
+
+@register_phase("dist.search.walk_cols")
+def _phase_walk_cols(ctx: ProcContext, payload) -> tuple:
+    """Step 1, columnar: walk the hat, return subqueries column-packed.
+
+    Selections stay per-record (their leaf tilings are ragged paths and
+    they never ride a sort); the surviving subquery set — the routed
+    traffic — leaves the rank as one batch, so the process backend
+    pickles a handful of arrays instead of ``O(m log^{d-1} p)`` objects.
+    """
+    qlo, boxes, collect, ns, d = payload
+    hat: Hat = ctx.state[hat_key(ns)]
+    ctx.state[_holders_key(ns)] = {}
+    sels: List[HatSelectionRecord] = []
+    subqs: List[Subquery] = []
+    for i, box in enumerate(boxes):
+        qid = qlo + i
+        s, q = hat.walk(
+            qid,
+            box,
+            collect_leaves=_wants(collect, qid),
+            charge=ctx.charge,
+        )
+        sels.extend(s)
+        subqs.extend(q)
+    return sels, _pack_routing(subqs, d)
+
+
+@register_phase("dist.search.forest_cols")
+def _phase_forest_cols(ctx: ProcContext, payload) -> tuple:
+    """Step 5, columnar: walk resident elements, emit packed selections.
+
+    The inbox is one routing batch (subqueries and expansion requests
+    mixed, source-ordered); the outputs — dimension-``d`` selections and
+    in-pass report pairs — leave as column packs built directly from the
+    walk, no intermediate record objects.  ``collect_pids`` (bool or qid
+    set) limits pid materialization to the queries whose output mode
+    consumes point ids: fold-family selections carry an empty
+    ``pid_tuple``, saving the per-leaf gather for every count/aggregate
+    subquery.
+    """
+    inbox, ns, collect_pids = payload
+    r = ctx.rank
+    forest = ctx.state.get(forest_key(ns)) or {}
+    holders = ctx.state.get(_holders_key(ns)) or {}
+
+    kind = inbox.col("kind")
+    qid_col = inbox.col("qid")
+    los_m = inbox.col("los")
+    his_m = inbox.col("his")
+    fid_col = inbox.col("forest_id")
+    loc_col = inbox.col("location")
+
+    sel_qid: List[int] = []
+    sel_fid: List[List[int]] = []
+    sel_nleaves: List[int] = []
+    sel_agg: List[Any] = []
+    sel_pids: List[Tuple[int, ...]] = []
+    pair_qids: List[np.ndarray] = []
+    pair_pids: List[np.ndarray] = []
+
+    for i in range(len(inbox)):
+        fid_flat = fid_col.row(i)
+        qid = int(qid_col[i])
+        if int(kind[i]) == RoutingCodec.KIND_EXPAND:
+            # Owners always keep their own store; expand in place.
+            el = forest[unflatten_path(fid_flat)]
+            pids = el.all_pids_array()
+            pids = pids[pids >= 0]
+            pair_qids.append(np.full(len(pids), qid, dtype=np.int64))
+            pair_pids.append(pids)
+            ctx.charge(el.nleaves)
+            continue
+        location = int(loc_col[i])
+        store = forest if location == r else holders.get(location)
+        fid = unflatten_path(fid_flat)
+        if store is None or fid not in store:
+            raise ProtocolError(
+                f"rank {r} received subquery for {fid} "
+                f"without holding a copy of group {location}"
+            )
+        el = store[fid]
+        stats = WalkStats()
+        box = RankBox(
+            tuple(int(x) for x in los_m[i]), tuple(int(x) for x in his_m[i])
+        )
+        want_pids = _wants(collect_pids, qid)
+        fid_row = list(fid_flat)
+        for sel in el.canonical(box, stats=stats):
+            sel_qid.append(qid)
+            sel_fid.append(fid_row)
+            sel_nleaves.append(sel.leaf_count)
+            sel_agg.append(sel.agg())
+            sel_pids.append(el.selection_pids_array(sel) if want_pids else ())
+        ctx.charge(max(1, stats.nodes_visited))
+
+    nsel = len(sel_qid)
+    agg_col = np.empty(nsel, dtype=object)
+    for i, a in enumerate(sel_agg):
+        agg_col[i] = a
+    selections = RecordBatch(
+        "dist.forest_selection",
+        {
+            "qid": np.asarray(sel_qid, dtype=np.int64),
+            "forest_id": Ragged.from_rows(sel_fid),
+            "nleaves": np.asarray(sel_nleaves, dtype=np.int64),
+            "agg": agg_col,
+            "pid_tuple": Ragged.from_rows(sel_pids),
+        },
+        nsel,
+    )
+    pairs = RecordBatch(
+        "dist.report_pair",
+        {
+            "qid": np.concatenate(pair_qids) if pair_qids else np.empty(0, np.int64),
+            "pid": np.concatenate(pair_pids) if pair_pids else np.empty(0, np.int64),
+        },
+    )
+    return selections, pairs
 
 
 @register_phase("dist.search.replicate_pack")
@@ -204,6 +377,7 @@ def run_search(
     replication: str = "doubling",
     expand_qids: "Collection[int] | None" = None,
     ns: str | None = None,
+    collect_pids: "bool | Collection[int]" = True,
 ) -> SearchOutput:
     """Execute Algorithm Search for a batch of rank-space queries.
 
@@ -219,6 +393,9 @@ def run_search(
     ``ns`` names the machine state namespace where Construct left the
     structure resident (:attr:`ConstructResult.ns`); when omitted,
     ``hat``/``forest_store`` are seeded into a fresh namespace first.
+    ``collect_pids`` (columnar plane) restricts per-selection pid
+    materialization to the given query ids — the query engine passes its
+    report-family set so fold-family selections skip the leaf gather.
     """
     p = mach.p
     expand = frozenset(expand_qids) if expand_qids else frozenset()
@@ -230,7 +407,14 @@ def run_search(
         mach.seed_state(forest_key(ns), list(forest_store))
     try:
         return _run_search_resident(
-            mach, ns, forest_store, rank_boxes, collect_leaves, replication, expand
+            mach,
+            ns,
+            forest_store,
+            rank_boxes,
+            collect_leaves,
+            replication,
+            expand,
+            collect_pids,
         )
     finally:
         if temp_ns:
@@ -249,11 +433,14 @@ def _run_search_resident(
     collect_leaves: "bool | Collection[int]",
     replication: str,
     expand: frozenset,
+    collect_pids: "bool | Collection[int]" = True,
 ) -> SearchOutput:
     """The pass itself, against an already-resident structure."""
     p = mach.p
     m = len(rank_boxes)
     chunk = -(-m // p) if m else 1
+    columnar = columnar_enabled()
+    d = len(rank_boxes[0].los) if m else 0
 
     # -- step 1: hat walk over each processor's query block ----------------
     collect = (
@@ -263,7 +450,7 @@ def _run_search_resident(
     )
     walked = mach.run_phase(
         "search:walk",
-        "dist.search.walk",
+        "dist.search.walk_cols" if columnar else "dist.search.walk",
         [
             (
                 r * chunk,
@@ -271,6 +458,7 @@ def _run_search_resident(
                 collect,
                 ns,
             )
+            + ((d,) if columnar else ())
             for r in range(p)
         ],
     )
@@ -280,10 +468,16 @@ def _run_search_resident(
     # -- step 2: demand per forest group (one all-gather) ------------------
     local_demand = []
     for r in range(p):
-        vec = [0] * p
-        for sq in local_subqs[r]:
-            vec[sq.location] += 1
-        local_demand.append(tuple(vec))
+        if columnar:
+            vec = np.bincount(
+                np.asarray(local_subqs[r].col("location")), minlength=p
+            )
+            local_demand.append(tuple(int(x) for x in vec))
+        else:
+            vec = [0] * p
+            for sq in local_subqs[r]:
+                vec[sq.location] += 1
+            local_demand.append(tuple(vec))
     demand_matrix = allgather(mach, local_demand, label="search:demands")[0]
     demands = [sum(row[j] for row in demand_matrix) for j in range(p)]
     total = sum(demands)
@@ -307,27 +501,89 @@ def _run_search_resident(
         copy = min(global_idx // per_copy[j], len(targets[j]) - 1)
         return targets[j][copy]
 
-    outboxes = mach.empty_outboxes()
-    for r in range(p):
-        counter = [0] * p
-        for sq in local_subqs[r]:
-            outboxes[r][dest_for(r, sq, counter)].append(sq)
-        for h in hat_selections[r]:
-            if h.qid in expand:
-                for fid, loc in zip(h.forest_ids, h.locations):
-                    outboxes[r][loc].append(
-                        ExpandRequest(qid=h.qid, forest_id=fid, location=loc)
-                    )
-    inboxes = mach.exchange("search:route-subqueries", outboxes)
-    subqueries_per_proc = [
-        sum(1 for rec in box if isinstance(rec, Subquery)) for box in inboxes
-    ]
+    if columnar:
+        # Vectorized dest rule: same global-index arithmetic, computed as
+        # arrays (occurrence index per owner via boolean masks — p is
+        # small), then one routed exchange of whole batches.  Subqueries
+        # precede expansion requests per source, as on the object path.
+        per_copy_arr = np.asarray(per_copy, dtype=np.int64)
+        tlen = np.asarray([len(t) for t in targets], dtype=np.int64)
+        tmat = np.zeros((p, int(tlen.max())), dtype=np.int64)
+        for j in range(p):
+            tmat[j, : len(targets[j])] = targets[j]
+        routed: List[RecordBatch] = []
+        dests: List[np.ndarray] = []
+        for r in range(p):
+            subq_b = local_subqs[r]
+            n_r = len(subq_b)
+            loc = np.asarray(subq_b.col("location"))
+            occ = np.empty(n_r, dtype=np.int64)
+            offs_r = np.asarray(offsets[r], dtype=np.int64)
+            for j in range(p):
+                mask = loc == j
+                occ[mask] = np.arange(int(mask.sum()), dtype=np.int64)
+            gidx = offs_r[loc] + occ if n_r else np.empty(0, dtype=np.int64)
+            copy = np.minimum(gidx // per_copy_arr[loc], tlen[loc] - 1)
+            dest = tmat[loc, copy]
+            expands = [
+                ExpandRequest(qid=h.qid, forest_id=fid, location=loc_)
+                for h in hat_selections[r]
+                if h.qid in expand
+                for fid, loc_ in zip(h.forest_ids, h.locations)
+            ]
+            if expands:
+                exp_b = _pack_routing(expands, d)
+                routed.append(RecordBatch.concat([subq_b, exp_b]))
+                dests.append(
+                    np.concatenate([dest, np.asarray(exp_b.col("location"))])
+                )
+            else:
+                routed.append(subq_b)
+                dests.append(dest)
+        inboxes = route_batches(
+            mach,
+            routed,
+            dests,
+            label="search:route-subqueries",
+            template=_pack_routing([], d),
+        )
+        subqueries_per_proc = [
+            int(
+                (np.asarray(box.col("kind")) == RoutingCodec.KIND_SUBQUERY).sum()
+            )
+            for box in inboxes
+        ]
+    else:
+        outboxes = mach.empty_outboxes()
+        for r in range(p):
+            counter = [0] * p
+            for sq in local_subqs[r]:
+                outboxes[r][dest_for(r, sq, counter)].append(sq)
+            for h in hat_selections[r]:
+                if h.qid in expand:
+                    for fid, loc in zip(h.forest_ids, h.locations):
+                        outboxes[r][loc].append(
+                            ExpandRequest(qid=h.qid, forest_id=fid, location=loc)
+                        )
+        inboxes = mach.exchange("search:route-subqueries", outboxes)
+        subqueries_per_proc = [
+            sum(1 for rec in box if isinstance(rec, Subquery)) for box in inboxes
+        ]
 
     # -- step 5: resume the canonical walk inside the forest ---------------
+    if columnar:
+        pid_spec = (
+            collect_pids
+            if isinstance(collect_pids, bool)
+            else frozenset(collect_pids)
+        )
+        payloads = [(inboxes[r], ns, pid_spec) for r in range(p)]
+    else:
+        payloads = [(inboxes[r], ns) for r in range(p)]
     processed = mach.run_phase(
         "search:forest",
-        "dist.search.forest",
-        [(inboxes[r], ns) for r in range(p)],
+        "dist.search.forest_cols" if columnar else "dist.search.forest",
+        payloads,
     )
     forest_selections = [o[0] for o in processed]
     report_pairs = [o[1] for o in processed]
@@ -382,6 +638,12 @@ def _replicate_stores(
             rows,
             weight=lambda rec: max(
                 1, sum(el.size_records for el in rec[1].values())
+            ),
+            # bytes: the rank matrix moves verbatim; pids/values/topology
+            # are modeled at a nominal 24 bytes per stored record.
+            nbytes=lambda rec: sum(
+                el.ranks.nbytes + 24 * el.size_records + 64
+                for el in rec[1].values()
             ),
         )
         mach.run_phase(

@@ -29,7 +29,10 @@ from __future__ import annotations
 import operator
 from typing import Any, Dict, List, Sequence, Tuple
 
-from ..cgm.sort import sample_sort
+import numpy as np
+
+from ..cgm.columns import RecordBatch, RecordCodec, columnar_enabled, register_codec
+from ..cgm.sort import sample_sort, sample_sort_cols
 from ..dist.modes import fold_sorted_runs
 from ..dist.search import run_search
 from ..errors import DimensionMismatch
@@ -39,6 +42,84 @@ from .modes import QuerySpec, get_mode
 from .result import QueryResult, ResultSet
 
 __all__ = ["QueryEngine", "QueryPlan", "plan_batch"]
+
+
+class PieceCodec(RecordCodec):
+    """The demux piece stream: ``qid`` key column, ``pid`` for report
+    pieces (−1 otherwise), ``val`` object column for fold payloads.
+
+    The per-record view reproduces the object-path piece tuples —
+    ``(qid, pid)`` for report pieces, ``(qid, (qid, value))`` for fold
+    pieces — so either plane feeds the same segmented run-fold.
+    """
+
+    name = "query.piece"
+    record_type = object
+
+    def pack(self, records):
+        qid = np.fromiter((q for q, _ in records), dtype=np.int64, count=len(records))
+        pid = np.empty(len(records), dtype=np.int64)
+        val = np.empty(len(records), dtype=object)
+        for i, (_q, payload) in enumerate(records):
+            if isinstance(payload, (int, np.integer)):
+                pid[i] = payload
+            else:
+                pid[i] = -1
+                val[i] = payload
+        return {"qid": qid, "pid": pid, "val": val}
+
+    def unpack(self, cols, i):
+        v = cols["val"][i]
+        if v is None:
+            return (int(cols["qid"][i]), int(cols["pid"][i]))
+        return (int(cols["qid"][i]), v)
+
+
+register_codec(PieceCodec())
+
+
+class _SelectionRow:
+    """Lazy row view of a forest-selection batch, for fold-family demux.
+
+    ``forest_value`` callbacks read ``nleaves``/``agg`` (and nothing
+    else on the built-in modes); materializing a full dataclass record —
+    pid tuple, unflattened path — per fold piece would give back a big
+    slice of the columnar win.  The view is reused across rows within
+    one demux pass, so callbacks must not retain it (the built-ins fold
+    immediately; a custom mode that needs a real record can call
+    ``batch.record(i)``).
+    """
+
+    __slots__ = ("_cols", "i")
+
+    def __init__(self, cols) -> None:
+        self._cols = cols
+        self.i = 0
+
+    @property
+    def qid(self) -> int:
+        return int(self._cols["qid"][self.i])
+
+    @property
+    def nleaves(self) -> int:
+        return int(self._cols["nleaves"][self.i])
+
+    @property
+    def agg(self):
+        return self._cols["agg"][self.i]
+
+    @property
+    def forest_id(self):
+        from ..dist.records import unflatten_path
+
+        return unflatten_path(self._cols["forest_id"].row(self.i))
+
+    @property
+    def pid_tuple(self):
+        return tuple(int(x) for x in self._cols["pid_tuple"].row(self.i))
+
+    def pids(self):
+        return self.pid_tuple
 
 #: Cap on annotation layers the lazy-refit cache keeps on a tree.  A
 #: long-lived tree serving many distinct per-query semigroups (say
@@ -198,6 +279,7 @@ class QueryEngine:
             replication=batch.replication,
             expand_qids=plan.leaf_qids,
             ns=tree._ensure_resident(),
+            collect_pids=plan.leaf_qids,
         )
 
         answers = self._demux(plan, out)
@@ -224,6 +306,37 @@ class QueryEngine:
         summaries therefore carry only scalar-sized fold values, never a
         query's id list.
         """
+        mach = self.tree.machine
+        specs = plan.specs
+        p = mach.p
+
+        if columnar_enabled():
+            report_ids, fold_lists = self._demux_pieces_cols(plan, out)
+        else:
+            report_ids, fold_lists = self._demux_pieces(plan, out)
+
+        def op(a, b):
+            if a is None:
+                return b
+            if b is None:
+                return a
+            qid = a[0]
+            return (qid, specs[qid].combine(a[1], b[1]))
+
+        folded = fold_sorted_runs(mach, fold_lists, op, None, "query:demux")
+
+        answers: List[Any] = [spec.finalize(spec.default) for spec in specs]
+        for qid, ids in report_ids.items():
+            answers[qid] = specs[qid].finalize(ids)
+        for per_proc in folded:
+            for qid, tagged in per_proc:
+                if tagged is None:
+                    continue
+                answers[qid] = specs[qid].finalize(tagged[1])
+        return answers
+
+    def _demux_pieces(self, plan: QueryPlan, out) -> Tuple[dict, List[list]]:
+        """Object-plane piece extraction + shared sort (the legacy path)."""
         mach = self.tree.machine
         specs = plan.specs
         p = mach.p
@@ -262,26 +375,124 @@ class QueryEngine:
                     report_ids.setdefault(qid, []).append(payload)
                 else:
                     fold_lists[r].append((qid, payload))
+        return report_ids, fold_lists
 
-        def op(a, b):
-            if a is None:
-                return b
-            if b is None:
-                return a
-            qid = a[0]
-            return (qid, specs[qid].combine(a[1], b[1]))
+    def _demux_pieces_cols(self, plan: QueryPlan, out) -> Tuple[dict, List[list]]:
+        """Columnar piece extraction: one ``query.piece`` batch per rank.
 
-        folded = fold_sorted_runs(mach, fold_lists, op, None, "query:demux")
+        Report-family pieces never touch Python loops: forest-selection
+        pid tuples explode via ``np.repeat`` over the ragged column, the
+        in-pass expansion pairs append their columns verbatim, and the
+        shared sort is the columnar sample sort keyed on ``qid``.  Only
+        fold-family pieces (one semigroup value per selection) go through
+        per-record extraction — they are the object column's reason to
+        exist.
+        """
+        mach = self.tree.machine
+        specs = plan.specs
+        p = mach.p
+        n_specs = len(specs)
+        is_report = np.fromiter(
+            (s.report_pids for s in specs), dtype=bool, count=n_specs
+        )
 
-        answers: List[Any] = [spec.finalize(spec.default) for spec in specs]
-        for qid, ids in report_ids.items():
-            answers[qid] = specs[qid].finalize(ids)
-        for per_proc in folded:
-            for qid, tagged in per_proc:
-                if tagged is None:
-                    continue
-                answers[qid] = specs[qid].finalize(tagged[1])
-        return answers
+        def part(qids, pids, vals) -> "tuple | None":
+            n = len(qids)
+            if n == 0:
+                return None
+            qid_col = np.asarray(qids, dtype=np.int64)
+            pid_col = (
+                np.asarray(pids, dtype=np.int64)
+                if pids is not None
+                else np.full(n, -1, dtype=np.int64)
+            )
+            val_col = np.empty(n, dtype=object)
+            if vals is not None:
+                for i, v in enumerate(vals):
+                    val_col[i] = v
+            return (qid_col, pid_col, val_col)
+
+        batches: List[RecordBatch] = []
+        for r in range(p):
+            parts = []
+            # hat fold pieces (selection records; small per query)
+            hq: List[int] = []
+            hv: List[Any] = []
+            for h in out.hat_selections[r]:
+                spec = specs[h.qid]
+                if spec.hat_value is not None:
+                    hq.append(h.qid)
+                    hv.append((h.qid, spec.hat_value(h)))
+            parts.append(part(hq, None, hv))
+            fb = out.forest_selections[r]
+            if len(fb):
+                fqid = np.asarray(fb.col("qid"))
+                rep = is_report[fqid]
+                fidx = np.nonzero(~rep)[0]
+                fq: List[int] = []
+                fv: List[Any] = []
+                row = _SelectionRow(fb.cols)
+                for i in fidx:
+                    q = int(fqid[i])
+                    spec = specs[q]
+                    if spec.forest_value is not None:
+                        row.i = i
+                        fq.append(q)
+                        fv.append((q, spec.forest_value(row)))
+                parts.append(part(fq, None, fv))
+                ridx = np.nonzero(rep)[0]
+                if len(ridx):
+                    pt = fb.col("pid_tuple").take(ridx)
+                    flat = pt.flat
+                    rq = np.repeat(fqid[ridx], pt.lengths)
+                    keep = flat >= 0
+                    parts.append(part(rq[keep], flat[keep], None))
+            pb = out.report_pairs[r] if out.report_pairs else None
+            if pb is not None and len(pb):
+                parts.append(part(pb.col("qid"), pb.col("pid"), None))
+            parts = [x for x in parts if x is not None]
+            if parts:
+                cols = {
+                    "qid": np.concatenate([x[0] for x in parts]),
+                    "pid": np.concatenate([x[1] for x in parts]),
+                    "val": np.concatenate([x[2] for x in parts]),
+                }
+            else:
+                cols = {
+                    "qid": np.empty(0, dtype=np.int64),
+                    "pid": np.empty(0, dtype=np.int64),
+                    "val": np.empty(0, dtype=object),
+                }
+            batches.append(RecordBatch("query.piece", cols))
+
+        ordered = sample_sort_cols(
+            mach, batches, keyspec=("qid",), label="query:demux:sort"
+        )
+
+        report_ids: dict[int, List[int]] = {}
+        fold_lists: List[List[Tuple[int, Any]]] = [[] for _ in range(p)]
+        for r in range(p):
+            b = ordered[r]
+            if not len(b):
+                continue
+            q = np.asarray(b.col("qid"))
+            pid_col = np.asarray(b.col("pid"))
+            val_col = b.col("val")
+            rep = is_report[q]
+            ridx = np.nonzero(rep)[0]
+            if len(ridx):
+                rq = q[ridx]
+                rp = pid_col[ridx]
+                change = np.nonzero(rq[1:] != rq[:-1])[0] + 1
+                starts = np.concatenate(([0], change))
+                ends = np.concatenate((change, [len(rq)]))
+                for s, e in zip(starts, ends):
+                    report_ids.setdefault(int(rq[s]), []).extend(
+                        rp[s:e].tolist()
+                    )
+            fidx = np.nonzero(~rep)[0]
+            fold_lists[r] = [(int(q[i]), val_col[i]) for i in fidx]
+        return report_ids, fold_lists
 
 
 def plan_batch(tree, batch: QueryBatch) -> QueryPlan:

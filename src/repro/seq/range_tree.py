@@ -86,8 +86,8 @@ class CanonicalSelection:
 
     @property
     def leaf_count(self) -> int:
-        s, e = self.tree.seg.slice_of(self.node)
-        return e - s
+        # width of the node's slice: m >> depth, no slice round-trip
+        return self.tree.seg.m >> (self.node.bit_length() - 1)
 
     @property
     def level(self) -> int:
@@ -224,11 +224,8 @@ class RangeTree:
         self, tree: DimTree, box: RankBox, out: list[CanonicalSelection], st: WalkStats
     ) -> None:
         a, b = box.interval(tree.dim)
-
-        def visit(_node: int) -> None:
-            st.nodes_visited += 1
-
-        nodes = tree.seg.decompose(a, b, on_visit=visit)
+        nodes, visited = tree.seg.decompose_counted(a, b)
+        st.nodes_visited += visited
         if tree.dim == self.d - 1:
             out.extend(CanonicalSelection(tree, node) for node in nodes)
             return

@@ -60,7 +60,7 @@ class SegTree:
     (distance to a leaf), so leaves have level 0 and the root ``log2 m``.
     """
 
-    __slots__ = ("ranks", "m", "height")
+    __slots__ = ("ranks", "m", "height", "_rank_list")
 
     def __init__(self, sorted_ranks: np.ndarray) -> None:
         ranks = np.asarray(sorted_ranks, dtype=np.int64)
@@ -72,6 +72,20 @@ class SegTree:
             raise GeometryError("SegTree ranks must be strictly increasing")
         self.ranks = ranks
         self.m = m
+        # Python-int view of the ranks, built on first walk: the 4-case
+        # walk is comparison-bound and plain ints compare ~4x faster than
+        # numpy scalars.  (The array stays the storage of record.)
+        self._rank_list: "list[int] | None" = None
+
+    def __getstate__(self):
+        # The walk cache never crosses a process boundary: replication
+        # ships forest elements by pickle, and shipping a Python int list
+        # alongside the rank array would double the payload.
+        return (self.ranks, self.m, self.height)
+
+    def __setstate__(self, state) -> None:
+        self.ranks, self.m, self.height = state
+        self._rank_list = None
 
     # ------------------------------------------------------------------
     # node arithmetic
@@ -171,12 +185,13 @@ class SegTree:
         """
         if a > b:
             return []
+        if on_visit is None:
+            return self.decompose_counted(a, b)[0]
         out: list[int] = []
         stack = [self.root]
         while stack:
             node = stack.pop()
-            if on_visit is not None:
-                on_visit(node)
+            on_visit(node)
             outcome = self.compare(node, a, b)
             if outcome.kind == OUTCOME_SELECT:
                 out.append(node)
@@ -185,6 +200,48 @@ class SegTree:
                 for child in reversed(outcome.children):
                     stack.append(child)
         return out
+
+    def decompose_counted(self, a: int, b: int) -> tuple[list[int], int]:
+        """Canonical decomposition plus the visit count, walk inlined.
+
+        Same nodes, same visit set (only *overlapping* children are
+        pushed, as in :meth:`compare`), but the 4-case logic runs over a
+        cached Python rank list with the child segments read in place of
+        a second :meth:`seg` round-trip — this is the inner loop of every
+        forest/hat walk, where comparison overhead dominates.
+        """
+        if a > b:
+            return [], 0
+        ranks = self._rank_list
+        if ranks is None:
+            ranks = self._rank_list = self.ranks.tolist()
+        m = self.m
+        out: list[int] = []
+        stack = [1]
+        visited = 0
+        while stack:
+            node = stack.pop()
+            visited += 1
+            depth = node.bit_length() - 1
+            width = m >> depth
+            s = (node - (1 << depth)) * width
+            lo = ranks[s]
+            hi = ranks[s + width - 1]
+            if b < lo or hi < a:
+                continue
+            if a <= lo and hi <= b:
+                out.append(node)
+                continue
+            # split: push each child iff its segment overlaps [a, b]
+            # (right first so the output stays left-to-right)
+            half = width >> 1
+            left_hi = ranks[s + half - 1]
+            right_lo = ranks[s + half]
+            if not (b < right_lo or hi < a):
+                stack.append(2 * node + 1)
+            if not (b < lo or left_hi < a):
+                stack.append(2 * node)
+        return out, visited
 
     def positions_under(self, node: int) -> range:
         """Array positions of the leaves below ``node``."""

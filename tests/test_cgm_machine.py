@@ -167,6 +167,7 @@ class TestMetrics:
             "rounds",
             "max_h",
             "volume",
+            "comm_bytes",
             "max_work",
             "total_work",
             "critical_seconds",

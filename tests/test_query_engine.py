@@ -388,6 +388,35 @@ class TestDeprecatedWrappers:
         with pytest.warns(DeprecationWarning, match="query_aggregate"):
             assert self.tree.query_aggregate(b) == bf_count(self.pts, b)
 
+    def test_warning_points_at_the_caller(self):
+        """``stacklevel=2``: the warning's origin is the *migration site*.
+
+        A deprecation aimed at the wrapper's own line is useless — the
+        user needs the file/line of *their* call to fix.  ``warnings``
+        resolves ``stacklevel`` to filename + lineno, so catching with
+        record=True exposes exactly what the user would see.
+        """
+        import warnings as _warnings
+
+        wrappers = [
+            lambda: self.tree.batch_count(self.boxes),
+            lambda: self.tree.batch_report(self.boxes),
+            lambda: self.tree.batch_aggregate(self.boxes),
+            lambda: self.tree.query_count(self.boxes[0]),
+            lambda: self.tree.query_report(self.boxes[0]),
+            lambda: self.tree.query_aggregate(self.boxes[0]),
+        ]
+        for call in wrappers:
+            with _warnings.catch_warnings(record=True) as caught:
+                _warnings.simplefilter("always")
+                call()
+            deps = [w for w in caught if w.category is DeprecationWarning]
+            assert deps, "wrapper emitted no DeprecationWarning"
+            assert deps[0].filename == __file__, (
+                f"warning origin {deps[0].filename}:{deps[0].lineno} is not "
+                "the caller — stacklevel is wrong"
+            )
+
     def test_wrappers_cannot_diverge_from_run(self):
         """The wrappers are *thin*: their answers equal tree.run's exactly."""
         with pytest.warns(DeprecationWarning):
