@@ -36,13 +36,19 @@ from repro.workloads import selectivity_queries, uniform_points
 OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_backends.json"
 
 QUICK = bool(os.environ.get("BENCH_BACKENDS_QUICK"))
-N, D, M, SEL = (512, 2, 256, 0.02) if QUICK else (4096, 2, 2048, 0.01)
-PS = (4,) if QUICK else (4, 8)
+D = 2
+#: (n, m, selectivity, p sweep).  The full sweep includes the quick
+#: config so CI's quick smoke rows always have committed baselines for
+#: scripts/check_bench_regression.py to compare against.
+QUICK_CONFIG = (512, 256, 0.02, (4,))
+CONFIGS = (
+    [QUICK_CONFIG] if QUICK else [QUICK_CONFIG, (4096, 2048, 0.01, (4, 8))]
+)
 BACKENDS = ("serial", "thread", "process")
 SEARCH_REPEATS = 2  # best-of: amortizes first-touch noise
 
 
-def _timed_pipeline(backend: str, p: int, pts, boxes) -> dict:
+def _timed_pipeline(backend: str, n: int, m: int, p: int, pts, boxes) -> dict:
     t0 = time.perf_counter()
     with DistributedRangeTree.build(pts, p=p, backend=backend) as tree:
         construct_s = time.perf_counter() - t0
@@ -55,6 +61,8 @@ def _timed_pipeline(backend: str, p: int, pts, boxes) -> dict:
         answers = rs.values()
     return {
         "backend": backend,
+        "n": n,
+        "m": m,
         "p": p,
         "construct_seconds": round(construct_s, 4),
         "search_seconds": round(search_s, 4),
@@ -65,18 +73,22 @@ def _timed_pipeline(backend: str, p: int, pts, boxes) -> dict:
 
 
 def run_bench() -> dict:
-    pts = uniform_points(N, D, seed=11)
-    boxes = selectivity_queries(M, D, seed=12, selectivity=SEL)
-
     rows = []
-    for p in PS:
-        for backend in BACKENDS:
-            rows.append(_timed_pipeline(backend, p, pts, boxes))
+    combos = 0
+    for n, m, sel, ps in CONFIGS:
+        pts = uniform_points(n, D, seed=11)
+        boxes = selectivity_queries(m, D, seed=12, selectivity=sel)
+        for p in ps:
+            combos += 1
+            for backend in BACKENDS:
+                rows.append(_timed_pipeline(backend, n, m, p, pts, boxes))
 
-    # Cross-backend speedups at equal p, keyed off the serial baseline.
-    serial_at = {r["p"]: r for r in rows if r["backend"] == "serial"}
+    # Cross-backend speedups at equal (n, p), keyed off the serial baseline.
+    serial_at = {
+        (r["n"], r["p"]): r for r in rows if r["backend"] == "serial"
+    }
     for r in rows:
-        base = serial_at[r["p"]]
+        base = serial_at[(r["n"], r["p"])]
         r["search_speedup_vs_serial"] = round(
             base["search_seconds"] / max(r["search_seconds"], 1e-9), 3
         )
@@ -84,21 +96,21 @@ def run_bench() -> dict:
             base["pipeline_seconds"] / max(r["pipeline_seconds"], 1e-9), 3
         )
 
-    checksums = {(r["p"], r["answer_checksum"]) for r in rows}
+    checksums = {(r["n"], r["p"], r["answer_checksum"]) for r in rows}
     results = {
         "meta": bench_meta(),
         "config": {
-            "n": N,
             "d": D,
-            "m": M,
-            "selectivity": SEL,
-            "p_values": list(PS),
+            "configs": [
+                {"n": n, "m": m, "selectivity": sel, "p_values": list(ps)}
+                for n, m, sel, ps in CONFIGS
+            ],
             "cpu_count": os.cpu_count(),
             "quick": QUICK,
         },
         "results": rows,
         "summary": {
-            "answers_agree_across_backends": len(checksums) == len(PS),
+            "answers_agree_across_backends": len(checksums) == combos,
             "best_process_search_speedup": max(
                 r["search_speedup_vs_serial"]
                 for r in rows
@@ -122,7 +134,7 @@ if __name__ == "__main__":
     results = run_bench()
     for row in results["results"]:
         print(
-            f"{row['backend']:>7} p={row['p']}: "
+            f"{row['backend']:>7} n={row['n']:>5} p={row['p']}: "
             f"construct {row['construct_seconds']}s, "
             f"search {row['search_seconds']}s "
             f"(x{row['search_speedup_vs_serial']} vs serial)"

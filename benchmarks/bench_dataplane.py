@@ -38,10 +38,19 @@ OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_dataplane.json"
 
 QUICK = bool(os.environ.get("BENCH_DATAPLANE_QUICK"))
 D, SEL = 2, 0.01
+#: The full sweep includes the quick config so CI's quick smoke rows
+#: always have committed baselines (scripts/check_bench_regression.py).
+QUICK_CONFIG = (512, 256, 4)
 CONFIGS = (
-    [(512, 256, 4)]
+    [QUICK_CONFIG]
     if QUICK
-    else [(4096, 2048, 4), (4096, 2048, 8), (16384, 2048, 4), (16384, 2048, 8)]
+    else [
+        QUICK_CONFIG,
+        (4096, 2048, 4),
+        (4096, 2048, 8),
+        (16384, 2048, 4),
+        (16384, 2048, 8),
+    ]
 )
 PLANES = ("object", "columnar")
 SEARCH_REPEATS = 2  # best-of: amortizes first-touch noise

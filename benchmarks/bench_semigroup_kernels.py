@@ -1,0 +1,187 @@
+"""Value-plane A/B benchmark: kernel semigroup folds vs the object path.
+
+The kernel engine's headline observable: with builtin semigroup values
+carried as typed numpy columns (``repro.semigroup.kernels``), Construct
+annotates nodes through batched heap folds and Search folds every
+aggregate query's pieces as segmented reductions — so an
+aggregate-heavy Construct + Search pipeline should beat the per-value
+object plane by >= 3x at realistic ``n``.
+
+The workload is a "stats panel" annotation — count, per-dimension sums
+and extremes, bounding box, bundled as one ProductSemigroup — with an
+aggregate-mode batch cycling through the components; this is the
+paper's associative-function mode with the aggregate set a database
+dashboard would ask for.  Both planes run the same columnar data plane,
+the same batch, and must agree bit for bit (checksum-verified).
+
+The full sweep *includes* the quick config, so CI's quick smoke rows
+always have committed baselines for ``scripts/check_bench_regression.py``
+to compare against.
+
+Run under the bench harness (``pytest benchmarks/ --benchmark-only -s``)
+or standalone (``PYTHONPATH=src python benchmarks/bench_semigroup_kernels.py``);
+set ``BENCH_SEMIGROUP_KERNELS_QUICK=1`` for the CI smoke sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.bench.meta import bench_meta
+from repro.dist import DistributedRangeTree
+from repro.query import QueryBatch, aggregate
+from repro.semigroup import (
+    COUNT,
+    bounding_box_semigroup,
+    max_of_dim,
+    min_of_dim,
+    product_semigroup,
+    sum_of_dim,
+    valueplane,
+)
+from repro.workloads import selectivity_queries, uniform_points
+
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_semigroup_kernels.json"
+
+QUICK = bool(os.environ.get("BENCH_SEMIGROUP_KERNELS_QUICK"))
+D, SEL = 2, 0.01
+QUICK_CONFIG = (512, 256, 4)
+CONFIGS = (
+    [QUICK_CONFIG]
+    if QUICK
+    else [QUICK_CONFIG, (16384, 2048, 4), (16384, 2048, 8)]
+)
+PLANES = ("object", "kernel")
+REPEATS = 2  # best-of: amortizes first-touch noise
+
+
+def _stats_panel(d: int):
+    """The benched aggregate set: a per-dimension stats readout."""
+    comps = [sum_of_dim(j) for j in range(d)]
+    comps += [min_of_dim(j) for j in range(d)]
+    comps += [max_of_dim(j) for j in range(d)]
+    comps.append(bounding_box_semigroup(d))
+    return comps
+
+
+def _checksum(values) -> str:
+    """Digest of the actual answers: 'planes agree' means bit for bit."""
+    return hashlib.sha256(repr(list(values)).encode()).hexdigest()[:16]
+
+
+def _timed(plane: str, n: int, m: int, p: int, pts, annot, batch) -> dict:
+    with valueplane(plane):
+        construct_s = float("inf")
+        tree = None
+        for _ in range(REPEATS):
+            if tree is not None:
+                tree.close()
+            t0 = time.perf_counter()
+            tree = DistributedRangeTree.build(pts, p=p, semigroup=annot)
+            construct_s = min(construct_s, time.perf_counter() - t0)
+        try:
+            search_s = float("inf")
+            for _ in range(REPEATS):
+                tree.reset_metrics()
+                t1 = time.perf_counter()
+                rs = tree.run(batch)
+                search_s = min(search_s, time.perf_counter() - t1)
+            values = rs.values()
+            kernel = tree.value_kernel
+        finally:
+            tree.close()
+    return {
+        "plane": plane,
+        "n": n,
+        "m": m,
+        "p": p,
+        "value_kernel": kernel.name if kernel is not None else None,
+        "construct_seconds": round(construct_s, 4),
+        "search_seconds": round(search_s, 4),
+        "pipeline_seconds": round(construct_s + search_s, 4),
+        "rounds": rs.rounds,
+        "comm_bytes": rs.metrics.total_comm_bytes,
+        "answer_checksum": _checksum(values),
+    }
+
+
+def run_bench() -> dict:
+    rows = []
+    for n, m, p in CONFIGS:
+        pts = uniform_points(n, D, seed=11)
+        comps = _stats_panel(D)
+        annot = product_semigroup([COUNT] + comps)
+        boxes = selectivity_queries(m, D, seed=12, selectivity=SEL)
+        batch = QueryBatch(
+            [aggregate(b, comps[i % len(comps)]) for i, b in enumerate(boxes)]
+        )
+        for plane in PLANES:
+            rows.append(_timed(plane, n, m, p, pts, annot, batch))
+
+    object_at = {(r["n"], r["p"]): r for r in rows if r["plane"] == "object"}
+    for r in rows:
+        base = object_at[(r["n"], r["p"])]
+        r["pipeline_speedup_vs_object"] = round(
+            base["pipeline_seconds"] / max(r["pipeline_seconds"], 1e-9), 3
+        )
+        r["answers_match_object"] = (
+            r["answer_checksum"] == base["answer_checksum"]
+        )
+
+    kernel_rows = [r for r in rows if r["plane"] == "kernel"]
+    max_n = max(c[0] for c in CONFIGS)
+    headline = [
+        r["pipeline_speedup_vs_object"] for r in kernel_rows if r["n"] == max_n
+    ]
+    results = {
+        "meta": bench_meta(),
+        "config": {
+            "d": D,
+            "selectivity": SEL,
+            "annotation_components": 1 + len(_stats_panel(D)),
+            "configs": [{"n": n, "m": m, "p": p} for n, m, p in CONFIGS],
+            "quick": QUICK,
+        },
+        "results": rows,
+        "summary": {
+            "answers_agree_across_planes": all(
+                r["answers_match_object"] for r in rows
+            ),
+            "best_kernel_pipeline_speedup": max(
+                r["pipeline_speedup_vs_object"] for r in kernel_rows
+            ),
+            # the acceptance figure: the WORST kernel-vs-object pipeline
+            # speedup over the aggregate-mode configs at max n
+            "min_speedup_at_max_n": min(headline),
+        },
+    }
+    OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def test_semigroup_kernels_bench(benchmark):
+    from conftest import run_once
+
+    results = run_once(benchmark, run_bench)
+    summary = results["summary"]
+    print(f"\nwrote {OUTPUT.name}: {json.dumps(summary, indent=2)}")
+    assert summary["answers_agree_across_planes"]
+    if not results["config"]["quick"]:
+        assert summary["min_speedup_at_max_n"] >= 3.0
+
+
+if __name__ == "__main__":
+    results = run_bench()
+    for row in results["results"]:
+        print(
+            f"{row['plane']:>7} n={row['n']:>5} p={row['p']}: "
+            f"construct {row['construct_seconds']}s "
+            f"search {row['search_seconds']}s "
+            f"(pipeline x{row['pipeline_speedup_vs_object']} vs object)"
+        )
+    print(json.dumps(results["summary"], indent=2))
+    print(f"wrote {OUTPUT}")

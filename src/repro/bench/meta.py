@@ -22,11 +22,13 @@ from typing import Any, Dict, List
 import numpy as np
 
 from ..cgm.columns import get_dataplane
+from ..semigroup.kernels import get_valueplane
 
 __all__ = ["SCHEMA_VERSION", "REQUIRED_KEYS", "bench_meta", "validate_meta"]
 
 #: Bump when the meta block's shape changes incompatibly.
-SCHEMA_VERSION = 1
+#: v2: added ``valueplane`` (the semigroup kernel engine's A/B switch).
+SCHEMA_VERSION = 2
 
 #: Keys every emitted meta block must carry (the CI contract).
 REQUIRED_KEYS = (
@@ -37,6 +39,7 @@ REQUIRED_KEYS = (
     "platform",
     "git_rev",
     "dataplane",
+    "valueplane",
     "generated_unix",
 )
 
@@ -66,6 +69,7 @@ def bench_meta() -> Dict[str, Any]:
         "platform": platform.platform(),
         "git_rev": _git_rev(),
         "dataplane": get_dataplane(),
+        "valueplane": get_valueplane(),
         "generated_unix": int(time.time()),
     }
 

@@ -7,7 +7,9 @@ sort, and per-object pickling across the process backend.  This module
 is the batch-packed alternative: a :class:`RecordBatch` keeps one record
 *stream* as typed column packs — int64 arrays for ids/ranks/owners,
 :class:`Ragged` int columns for variable-length paths, and an object
-column only where semigroup values require one — so sorting becomes
+column only where semigroup values require one (builtin semigroups ride
+as typed :class:`~repro.semigroup.kernels.KernelColumn` matrices with
+exact byte accounting; see the value plane) — so sorting becomes
 ``numpy`` argsort over encoded key columns, routing becomes array
 slicing, and backend transport pickles whole arrays instead of object
 lists.
@@ -32,11 +34,14 @@ The plane is switchable for A/B measurement: :func:`set_dataplane` /
 from __future__ import annotations
 
 import os
+import random
 import sys
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
+
+from ..semigroup.kernels import KernelColumn
 
 __all__ = [
     "Ragged",
@@ -53,6 +58,7 @@ __all__ = [
     "dataplane",
     "columnar_enabled",
     "estimate_nbytes",
+    "estimate_object_bytes",
     "estimate_box_nbytes",
 ]
 
@@ -176,7 +182,7 @@ def _col_len(col: Any) -> int:
 
 
 def _col_take(col: Any, idx: np.ndarray) -> Any:
-    if isinstance(col, Ragged):
+    if isinstance(col, (Ragged, KernelColumn)):
         return col.take(idx)
     return col[idx]
 
@@ -184,20 +190,22 @@ def _col_take(col: Any, idx: np.ndarray) -> Any:
 def _col_concat(cols: List[Any]) -> Any:
     if isinstance(cols[0], Ragged):
         return Ragged.concat(cols)
+    if isinstance(cols[0], KernelColumn):
+        return KernelColumn.concat(cols)
     return np.concatenate(cols)
 
 
 def _col_nbytes(col: Any) -> int:
-    if isinstance(col, Ragged):
+    if isinstance(col, (Ragged, KernelColumn)):
+        # Typed storage: exact bytes, no sampling (the kernel engine's
+        # byte-accounting guarantee for value columns).
         return col.nbytes
     if col.dtype == object:
-        # Estimate object payloads by sampling (exact for empty columns).
+        # Estimate object payloads by seeded sampling (exact when empty).
         n = len(col)
         if n == 0:
             return 0
-        k = min(8, n)
-        per = sum(estimate_nbytes(col[i]) for i in range(k)) / k
-        return int(per * n) + col.nbytes
+        return estimate_object_bytes(col) + col.nbytes
     return int(col.nbytes)
 
 
@@ -488,16 +496,40 @@ def estimate_nbytes(obj: Any, _depth: int = 0) -> int:
     return sys.getsizeof(obj)
 
 
-def estimate_box_nbytes(box: Sequence[Any]) -> int:
-    """Estimated bytes of one outbox record list, by sampling.
+#: Fixed seed of the object-bytes samplers.  The sample positions are a
+#: pure function of ``(seed, stream length)`` — never of wall clock,
+#: hashing salt, or iteration state — so ``comm_bytes`` metrics on the
+#: object plane are reproducible run to run (and across backends, which
+#: route the same streams in the same order).
+ESTIMATE_SAMPLE_SEED = 0xC61A
 
-    Record streams within a round are homogeneous, so the mean of the
-    first few records extrapolates well at O(1) cost per box — the
-    object path's byte accounting must not slow the object path down.
+
+def estimate_object_bytes(
+    items: Sequence[Any], k: int = 8, seed: int = ESTIMATE_SAMPLE_SEED
+) -> int:
+    """Estimated payload bytes of an object stream, by seeded sampling.
+
+    Draws ``k`` deterministic positions spread over the stream (seeded
+    :class:`random.Random` keyed by ``seed ^ len``), estimates each with
+    :func:`estimate_nbytes`, and extrapolates the mean — O(1) per
+    stream, deterministic run to run, and less biased than head-only
+    sampling when a stream's early records are unrepresentative.
+    Exact (full sum) when the stream has at most ``k`` items.
     """
-    n = len(box)
+    n = len(items)
     if n == 0:
         return 0
-    k = min(4, n)
-    sample = sum(estimate_nbytes(box[i]) for i in range(k))
-    return int(sample * n / k)
+    if n <= k:
+        return sum(estimate_nbytes(items[i]) for i in range(n))
+    idx = random.Random(seed ^ n).sample(range(n), k)
+    return int(sum(estimate_nbytes(items[i]) for i in idx) * n / k)
+
+
+def estimate_box_nbytes(box: Sequence[Any]) -> int:
+    """Estimated bytes of one outbox record list, by seeded sampling.
+
+    Record streams within a round are homogeneous, so a few sampled
+    records extrapolate well at O(1) cost per box — the object path's
+    byte accounting must not slow the object path down.
+    """
+    return estimate_object_bytes(box, k=4)

@@ -293,6 +293,7 @@ def sample_sort_cols(
     batches: Sequence[RecordBatch],
     keyspec: Sequence[Any],
     label: str = "sort",
+    keep_key: bool = False,
 ) -> list[RecordBatch]:
     """Globally sort distributed record batches by the named key columns.
 
@@ -301,6 +302,15 @@ def sample_sort_cols(
     same ``(key, source rank, source index)`` total order — but every
     local step is an ``np.argsort``/``np.searchsorted`` over encoded key
     bytes and the routed payloads are whole column arrays.
+
+    With ``keep_key=True`` the output batches retain the encoded
+    ``__key`` column (already riding every sort round, so no extra
+    traffic): since :func:`~repro.cgm.columns.encode_keys` biases each
+    column independently, a caller needing the encoding of a keyspec
+    *prefix* — Construct's tree-rank step wants the tree-id columns it
+    just sorted by — can take the key's leading bytes instead of paying
+    a second encode over unchanged columns.  Callers must drop the
+    column before routing the batch onward.
     """
     p = mach.p
     token = mach.new_ns("sortbuf")
@@ -331,6 +341,8 @@ def sample_sort_cols(
     merged = mach.run_phase(f"{label}:merge", "cgm.sort.merge_cols", inboxes)
 
     balanced = _route_balanced_cols(mach, merged, f"{label}:balance", template)
+    if keep_key:
+        return list(balanced)
     return [b.drop("__key") for b in balanced]
 
 

@@ -40,6 +40,12 @@ from ..geometry.box import Box
 from ..geometry.point import PointSet
 from ..geometry.rankspace import RankedPointSet, pad_to_power_of_two
 from ..semigroup import COUNT, Semigroup
+from ..semigroup.kernels import (
+    KernelColumn,
+    kernel_enabled,
+    kernel_for,
+    lift_kernel_column,
+)
 from .construct import (
     ConstructResult,
     construct_distributed_tree,
@@ -78,13 +84,64 @@ __all__ = [
 ]
 
 
+class _KernelRefitValues:
+    """Vectorized refit payload: typed value rows addressable by pid.
+
+    ``mat`` holds one encoded row per real point; ``row_of`` maps pid to
+    its row (``None`` = pids are the identity mapping ``0..n_real-1``,
+    the common case).  Negative (sentinel) pids decode to the encoded
+    identity — exactly the object path's sentinel values.  Picklable, so
+    the refit ships typed arrays instead of a pid→value object dict on
+    the process backend.
+    """
+
+    __slots__ = ("kernel", "mat", "row_of")
+
+    def __init__(self, kernel, mat, row_of) -> None:
+        self.kernel = kernel
+        self.mat = mat
+        self.row_of = row_of
+
+    def column_for(self, pids: "Any") -> KernelColumn:
+        import numpy as np
+
+        pids = np.asarray(pids, dtype=np.int64)
+        n_real = len(self.mat)
+        if self.row_of is None:
+            idx = np.where((pids >= 0) & (pids < n_real), pids, -1)
+        else:
+            idx = np.fromiter(
+                (self.row_of.get(int(p), -1) for p in pids),
+                dtype=np.int64,
+                count=len(pids),
+            )
+        out = np.empty((len(pids), self.kernel.width), dtype=self.kernel.dtype)
+        mask = idx >= 0
+        out[mask] = self.mat[idx[mask]]
+        out[~mask] = np.asarray(self.kernel.identity_row, dtype=self.kernel.dtype)
+        return KernelColumn(self.kernel, out)
+
+
 @register_phase("dist.refit.relabel")
 def _phase_refit_relabel(ctx: ProcContext, payload) -> list:
-    """Re-annotate this rank's resident forest elements; return root infos."""
-    values_by_pid, semigroup, ns = payload
+    """Re-annotate this rank's resident forest elements; return root infos.
+
+    ``values`` is a pid→value dict on the object value plane, or a
+    :class:`_KernelRefitValues` carrier on the kernel plane (fresh
+    values gather as typed rows and the per-element refit runs as
+    vectorized heap folds).  ``kernel`` covers the in-between case of a
+    kernelizable semigroup whose lift could not vectorize.
+    """
+    values, semigroup, ns, kernel = payload
     infos = []
     for el in (ctx.state.get(forest_key(ns)) or {}).values():
-        el.reannotate([values_by_pid[pid] for pid in el.pids], semigroup)
+        if isinstance(values, _KernelRefitValues):
+            fresh = values.column_for(el.pids_array)
+        else:
+            fresh = [values[pid] for pid in el.pids]
+            if kernel is not None:
+                fresh = KernelColumn.from_values(kernel, fresh)
+        el.reannotate(fresh, semigroup)
         infos.append(el.root_info())
         ctx.charge(el.size_records)
     return infos
@@ -163,6 +220,9 @@ class DistributedRangeTree:
         self.construct_result = construct_result
         self.hat = construct_result.hat
         self.forest_store = construct_result.forest_store
+        #: Kernel backing the *current* annotation's value columns
+        #: (``None`` = object storage); updated by every refit.
+        self.value_kernel = getattr(construct_result, "value_kernel", None)
         self._engine = None
         self._owns_machine = owns_machine
         self._closed = False
@@ -204,7 +264,7 @@ class DistributedRangeTree:
             p = machine.p
             require_power_of_two("processor count p", p)
         ranked = pad_to_power_of_two(points, minimum=p)
-        values = cls._lift_values(ranked, points, semigroup)
+        values = cls._build_values(ranked, points, semigroup)
         result = construct_distributed_tree(machine, ranked, values, semigroup)
         return cls(
             points, ranked, machine, semigroup, result, owns_machine=owns_machine
@@ -221,6 +281,29 @@ class DistributedRangeTree:
             else:
                 values.append(semigroup.identity)
         return values
+
+    @classmethod
+    def _build_values(
+        cls, ranked: RankedPointSet, points: PointSet, semigroup: Semigroup
+    ):
+        """Lifted values, as a typed column when the kernel plane can.
+
+        On the kernel value plane a kernelizable semigroup lifts the
+        whole coordinate matrix in a few array ops (sentinel rows get
+        the encoded identity); everything else takes the per-point
+        object lift.
+        """
+        from ..cgm.columns import columnar_enabled
+
+        if columnar_enabled() and kernel_enabled():
+            kernel = kernel_for(semigroup)
+            if kernel is not None:
+                col = lift_kernel_column(
+                    kernel, semigroup, points.coords, ranked.n
+                )
+                if col is not None:
+                    return col
+        return cls._lift_values(ranked, points, semigroup)
 
     # ------------------------------------------------------------------
     # basic shape
@@ -424,23 +507,52 @@ class DistributedRangeTree:
 
     def _refit(self, semigroup: Semigroup, label: str = "reannotate") -> None:
         """Re-annotate forest + hat with ``semigroup`` (one broadcast round)."""
+        from ..cgm.columns import columnar_enabled
+
+        import numpy as np
+
         self.semigroup = semigroup
-        values_by_pid: dict[int, Any] = {}
-        for i in range(self.ranked.n):
-            pid = int(self.ranked.ids[i])
-            if i < self.ranked.n_real:
-                values_by_pid[pid] = semigroup.lift(
-                    self.points.point_id(i), self.points.coords[i]
+        kernel = (
+            kernel_for(semigroup)
+            if columnar_enabled() and kernel_enabled()
+            else None
+        )
+        self.value_kernel = kernel
+
+        values: Any = None
+        if kernel is not None:
+            col = lift_kernel_column(
+                kernel, semigroup, self.points.coords, self.ranked.n_real
+            )
+            if col is not None:
+                n_real = self.ranked.n_real
+                real_ids = self.ranked.ids[:n_real]
+                row_of = (
+                    None
+                    if np.array_equal(
+                        real_ids, np.arange(n_real, dtype=real_ids.dtype)
+                    )
+                    else {int(real_ids[i]): i for i in range(n_real)}
                 )
-            else:
-                values_by_pid[pid] = semigroup.identity
+                values = _KernelRefitValues(kernel, col.data, row_of)
+        if values is None:
+            values_by_pid: dict[int, Any] = {}
+            for i in range(self.ranked.n):
+                pid = int(self.ranked.ids[i])
+                if i < self.ranked.n_real:
+                    values_by_pid[pid] = semigroup.lift(
+                        self.points.point_id(i), self.points.coords[i]
+                    )
+                else:
+                    values_by_pid[pid] = semigroup.identity
+            values = values_by_pid
 
         mach = self.machine
         ns = self._ensure_resident()
         roots_local = mach.run_phase(
             f"{label}:relabel",
             "dist.refit.relabel",
-            [(values_by_pid, semigroup, ns)] * mach.p,
+            [(values, semigroup, ns, kernel)] * mach.p,
         )
         gathered = alltoall_broadcast(mach, roots_local, label=f"{label}:roots")
 

@@ -66,6 +66,7 @@ from ..cgm.sort import sample_sort, sample_sort_cols
 from ..errors import MachineError
 from ..geometry.rankspace import RankedPointSet
 from ..semigroup import Semigroup
+from ..semigroup.kernels import KernelColumn, kernel_enabled, kernel_for
 from .forest import ForestElement, build_forest_element
 from .hat import Hat
 from .labeling import (
@@ -109,6 +110,10 @@ class ConstructResult:
     phase_record_counts: List[int]
     p: int = field(default=1)
     ns: str = field(default="")
+    #: Kernel backing the tree's value columns (``None`` on the object
+    #: value plane / for unkernelizable semigroups); the query engine
+    #: reads it to decide typed piece folds.
+    value_kernel: Any = field(default=None)
 
     def forest_group_sizes(self) -> List[int]:
         """Points held per processor's forest group (Theorem 1(ii) balance)."""
@@ -235,14 +240,19 @@ def _phase_build_hat(ctx: ProcContext, payload) -> "Hat | None":
 # ---------------------------------------------------------------------------
 # the columnar plane: SRecord traffic as column packs
 # ---------------------------------------------------------------------------
-def _empty_srecord_batch(d: int, tid_width: int) -> RecordBatch:
+def _empty_srecord_batch(d: int, tid_width: int, value_col=None) -> RecordBatch:
+    """Zero-row SRecord batch; ``value_col`` shapes the value column
+    (an empty :class:`KernelColumn` on the kernel plane, so cross-rank
+    concatenation keeps one schema)."""
+    if value_col is None:
+        value_col = np.empty(0, dtype=object)
     return RecordBatch(
         "dist.srecord",
         {
             "tree_id": Ragged.from_matrix(np.empty((0, tid_width), dtype=np.int64)),
             "ranks": np.empty((0, d), dtype=np.int64),
             "pid": np.empty(0, dtype=np.int64),
-            "value": np.empty(0, dtype=object),
+            "value": value_col,
         },
         0,
     )
@@ -250,17 +260,25 @@ def _empty_srecord_batch(d: int, tid_width: int) -> RecordBatch:
 
 @register_phase("dist.construct.scatter_cols")
 def _phase_scatter_cols(ctx: ProcContext, payload) -> RecordBatch:
-    """Initial distribution, columnar: this rank's block as one batch."""
+    """Initial distribution, columnar: this rank's block as one batch.
+
+    ``values`` arrives either as a plain list (object value plane) or as
+    a pre-encoded :class:`KernelColumn` slice (kernel plane — the driver
+    encodes once, so typed value traffic starts at the very first round).
+    """
     rank_rows, ids, values = payload
     n = len(ids)
     ctx.charge(n)
+    value_col = (
+        values if isinstance(values, KernelColumn) else obj_col(list(values))
+    )
     return RecordBatch(
         "dist.srecord",
         {
             "tree_id": Ragged.from_matrix(np.empty((n, 0), dtype=np.int64)),
             "ranks": np.ascontiguousarray(rank_rows, dtype=np.int64),
             "pid": np.asarray(ids, dtype=np.int64),
-            "value": obj_col(list(values)),
+            "value": value_col,
         },
         n,
     )
@@ -298,11 +316,12 @@ def _phase_build_elements_cols(ctx: ProcContext, payload) -> dict:
     ranks = batch.col("ranks")
     pids = batch.col("pid")
     values = batch.col("value")
+    kernel_values = isinstance(values, KernelColumn)
 
     next_tid: List[np.ndarray] = []
     next_ranks: List[np.ndarray] = []
     next_pid: List[np.ndarray] = []
-    next_val: List[np.ndarray] = []
+    next_val: List[Any] = []
 
     if n:
         change = np.nonzero(gcol[1:] != gcol[:-1])[0] + 1
@@ -346,7 +365,11 @@ def _phase_build_elements_cols(ctx: ProcContext, payload) -> dict:
                 next_tid.append(np.tile(anc_mat, (cnt, 1)))
                 next_ranks.append(np.repeat(ranks[s:e], len(ancs), axis=0))
                 next_pid.append(np.repeat(pids[s:e], len(ancs)))
-                next_val.append(np.repeat(values[s:e], len(ancs)))
+                next_val.append(
+                    values[s:e].repeat(len(ancs))
+                    if kernel_values
+                    else np.repeat(values[s:e], len(ancs))
+                )
             ctx.charge(e - s)
 
     if next_tid:
@@ -356,13 +379,45 @@ def _phase_build_elements_cols(ctx: ProcContext, payload) -> dict:
                 "tree_id": Ragged.from_matrix(np.vstack(next_tid)),
                 "ranks": np.vstack(next_ranks),
                 "pid": np.concatenate(next_pid),
-                "value": np.concatenate(next_val),
+                "value": KernelColumn.concat(next_val)
+                if kernel_values
+                else np.concatenate(next_val),
             },
         )
     else:
-        next_batch = _empty_srecord_batch(d, 2 * (j + 1))
+        next_batch = _empty_srecord_batch(
+            d,
+            2 * (j + 1),
+            value_col=values.islice(0, 0) if kernel_values else None,
+        )
     held = ctx.state.get(stored_key, 0) + len(next_batch)
     return {"roots": roots, "next_records": next_batch, "held": held}
+
+
+def _tree_id_encoding(b: RecordBatch) -> np.ndarray:
+    """Big-endian encoding of a batch's tree-id columns, cache-aware.
+
+    The phase sort already encoded ``(tree_id cols, rank_j, src, idx)``
+    into the retained ``__key`` column, and :func:`encode_keys` biases
+    each column independently — so the tree-id encoding is exactly the
+    key's leading bytes.  When the cached key rides the batch
+    (``sample_sort_cols(..., keep_key=True)``), the prefix view replaces
+    a full re-encode of the unchanged key columns; the fallback encodes
+    from scratch (bit-identical by construction, property-tested).
+    """
+    n = len(b)
+    tid = b.col("tree_id")
+    w = tid.uniform_width() or 0
+    key = b.cols.get("__key")
+    if key is not None and n and key.dtype.itemsize >= 8 * w:
+        if w == 0:
+            return np.zeros(n, dtype="S1")
+        prefix = np.ascontiguousarray(
+            key.view("u1").reshape(n, key.dtype.itemsize)[:, : 8 * w]
+        )
+        return prefix.view(f"S{8 * w}").reshape(n)
+    mat = tid.flat.reshape(n, w)
+    return encode_keys([mat[:, c] for c in range(w)], n)
 
 
 def _in_tree_positions_cols(
@@ -381,10 +436,7 @@ def _in_tree_positions_cols(
     for r in range(p):
         b = batches[r]
         n = len(b)
-        tid = b.col("tree_id")
-        w = tid.uniform_width() or 0
-        mat = tid.flat.reshape(n, w)
-        enc = encode_keys([mat[:, c] for c in range(w)], n)
+        enc = _tree_id_encoding(b)
         encs.append(enc)
         if n:
             diff = np.nonzero(enc[:-1] != enc[1:])[0]
@@ -465,8 +517,27 @@ def construct_distributed_tree(
     ns = mach.new_ns("tree")
 
     # Initial distribution: block of n/p point records per processor (the
-    # CGM input convention; a local-computation step, no round).
+    # CGM input convention; a local-computation step, no round).  On the
+    # kernel value plane the driver encodes the lifted values once into a
+    # typed column and ships per-rank slices — the gate is driver-side
+    # only, workers just follow the representation that arrives.
     columnar = columnar_enabled()
+    kernel = kernel_for(semigroup) if columnar and kernel_enabled() else None
+    if isinstance(values, KernelColumn):
+        if kernel is None:
+            # plane toggled off after the caller lifted: fall back
+            values = values.to_list()
+        else:
+            kernel = values.kernel  # already encoded (vectorized lift)
+    if kernel is not None:
+        all_values = (
+            values
+            if isinstance(values, KernelColumn)
+            else KernelColumn.from_values(kernel, values)
+        )
+        value_block = lambda r: all_values.islice(r * k, (r + 1) * k)  # noqa: E731
+    else:
+        value_block = lambda r: list(values[r * k : (r + 1) * k])  # noqa: E731
     current = mach.run_phase(
         "construct:scatter-points",
         "dist.construct.scatter_cols" if columnar else "dist.construct.scatter",
@@ -474,7 +545,7 @@ def construct_distributed_tree(
             (
                 ranked.ranks[r * k : (r + 1) * k],
                 ranked.ids[r * k : (r + 1) * k],
-                list(values[r * k : (r + 1) * k]),
+                value_block(r),
             )
             for r in range(p)
         ],
@@ -490,11 +561,14 @@ def construct_distributed_tree(
 
         # -- step 1: the black-box CGM sort --------------------------------
         if columnar:
+            # keep_key retains the encoded sort key so step 2 reuses its
+            # tree-id prefix instead of re-encoding unchanged key columns.
             current = sample_sort_cols(
                 mach,
                 current,
                 keyspec=("tree_id", ("ranks", j)),
                 label=f"{label}:sort",
+                keep_key=True,
             )
         else:
             current = sample_sort(
@@ -539,8 +613,13 @@ def construct_distributed_tree(
                     if n_r
                     else np.empty(0, dtype=np.int64)
                 )
+                # the cached sort key is spent: drop it before routing so
+                # the route-groups round ships exactly what it used to
                 tagged_cols.append(
-                    current[r].with_col("__g", g).with_col("__leaf_m", leaf_m)
+                    current[r]
+                    .drop("__key")
+                    .with_col("__g", g)
+                    .with_col("__leaf_m", leaf_m)
                 )
                 dests.append((group_base + g) % p)
                 base += all_counts[r]
@@ -614,4 +693,5 @@ def construct_distributed_tree(
         phase_record_counts=phase_counts,
         p=p,
         ns=ns,
+        value_kernel=kernel,
     )

@@ -22,6 +22,7 @@ from typing import Any, Sequence, Tuple
 import numpy as np
 
 from ..semigroup import Semigroup
+from ..semigroup.kernels import KernelColumn
 from ..seq.range_tree import CanonicalSelection, RangeTree
 from ..seq.segment_tree import WalkStats
 from .labeling import Path
@@ -70,7 +71,11 @@ class ForestElement:
         self.group_rank = group_rank
         self.ranks = np.asarray(ranks, dtype=np.int64)
         self.pids = tuple(int(x) for x in pids)
-        self.values = list(values)
+        # Kernel-plane value columns stay typed end to end; anything else
+        # is materialized as the per-record list the object plane folds.
+        self.values = (
+            values if isinstance(values, KernelColumn) else list(values)
+        )
         self.semigroup = semigroup
         self.tree = RangeTree(self.ranks, self.values, semigroup, start_dim=dim)
         self._pids_arr: "np.ndarray | None" = None
@@ -121,6 +126,10 @@ class ForestElement:
         """
         return self.tree.canonical(box, stats=stats)
 
+    def canonical_pairs(self, box, stats: WalkStats | None = None):
+        """:meth:`canonical` as raw ``(tree, node)`` pairs (batched path)."""
+        return self.tree.canonical_pairs(box, stats=stats)
+
     @property
     def pids_array(self) -> np.ndarray:
         """The pids as an int64 array (cached; the columnar gather path)."""
@@ -153,7 +162,9 @@ class ForestElement:
         ``values`` aligns with the element's original record order (the
         order ``pids`` was given in).  O(size) local work, no rounds.
         """
-        self.values = list(values)
+        self.values = (
+            values if isinstance(values, KernelColumn) else list(values)
+        )
         self.semigroup = semigroup
         self.tree.reannotate(self.values, semigroup)
 

@@ -34,6 +34,8 @@ from .search import SearchOutput
 __all__ = [
     "fold_pieces",
     "fold_sorted_runs",
+    "accumulate_runs",
+    "resolve_sorted_runs",
     "fold_by_query",
     "batched_counts",
     "batched_report_pairs",
@@ -91,6 +93,25 @@ def fold_by_query(
     return fold_pieces(mach, pieces, op, zero, label)
 
 
+def accumulate_runs(
+    ordered: List[Tuple[int, Any]], op: Callable[[Any, Any], Any]
+) -> List[Tuple[int, Any]]:
+    """Local run totals of one rank's qid-sorted pieces (left fold).
+
+    The per-rank half of :func:`fold_sorted_runs`, exposed so callers
+    with a vectorized equivalent — the query engine's kernel-plane
+    segmented reductions — can hand precombined runs straight to
+    :func:`resolve_sorted_runs`.
+    """
+    runs: List[Tuple[int, Any]] = []
+    for qid, val in ordered:
+        if runs and runs[-1][0] == qid:
+            runs[-1] = (qid, op(runs[-1][1], val))
+        else:
+            runs.append((qid, val))
+    return runs
+
+
 def fold_sorted_runs(
     mach: Machine,
     ordered: List[List[Tuple[int, Any]]],
@@ -107,19 +128,29 @@ def fold_sorted_runs(
     run's final piece emits the query's folded value, so every query is
     emitted exactly once.
     """
-    p = mach.p
+    return resolve_sorted_runs(
+        mach, [accumulate_runs(o, op) for o in ordered], op, zero, label
+    )
 
-    # Local run totals plus the summary every processor needs to see.
-    local_runs: List[List[Tuple[int, Any]]] = []
+
+def resolve_sorted_runs(
+    mach: Machine,
+    local_runs: List[List[Tuple[int, Any]]],
+    op: Callable[[Any, Any], Any],
+    zero: Any,
+    label: str,
+) -> List[List[Tuple[int, Any]]]:
+    """Resolve precombined local runs across ranks (the boundary round).
+
+    ``local_runs[r]`` holds rank ``r``'s ``(qid, total)`` run totals in
+    qid order (from :func:`accumulate_runs` or a vectorized fold); the
+    cross-rank carry/emit protocol and its single all-gather round are
+    identical however the totals were produced.
+    """
+    p = mach.p
     summaries: List[Tuple[bool, Any, Any, Any, bool]] = []
     for r in range(p):
-        runs: List[Tuple[int, Any]] = []
-        for qid, val in ordered[r]:
-            if runs and runs[-1][0] == qid:
-                runs[-1] = (qid, op(runs[-1][1], val))
-            else:
-                runs.append((qid, val))
-        local_runs.append(runs)
+        runs = local_runs[r]
         if runs:
             summaries.append(
                 (True, runs[0][0], runs[-1][0], runs[-1][1], len(runs) == 1)

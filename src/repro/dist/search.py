@@ -61,6 +61,7 @@ from ..cgm.loadbalance import (
 from ..cgm.machine import Machine
 from ..cgm.phases import ProcContext, register_phase
 from ..errors import ProtocolError
+from ..semigroup.kernels import KernelAggs, KernelColumn
 from ..geometry.box import RankBox
 from ..seq.segment_tree import WalkStats
 from .construct import forest_key, hat_key
@@ -207,6 +208,47 @@ def _phase_walk_cols(ctx: ProcContext, payload) -> tuple:
     return sels, _pack_routing(subqs, d)
 
 
+def _pack_selection_aggs(pairs: "List[Tuple[Any, int]]"):
+    """The selection ``agg`` column from ``(aggs store, node)`` picks.
+
+    When every pick reads a :class:`~repro.semigroup.kernels.KernelAggs`
+    store of one kernel — the invariant on a kernel-plane tree, since a
+    namespace is annotated under a single plane — the column is a typed
+    :class:`KernelColumn` gathered row by row, never decoding a value;
+    any other mix falls back to an object column of decoded values.
+    """
+    n = len(pairs)
+    if n:
+        first = pairs[0][0]
+        k0 = first.kernel if isinstance(first, KernelAggs) else None
+        if k0 is not None:
+            # group picks by the shared heap block so each group is one
+            # fancy-index gather instead of a row copy per selection
+            groups: dict = {}
+            uniform = True
+            for pos, (a, node) in enumerate(pairs):
+                # identity fast path: one construct/refit shares one kernel
+                ak = a.kernel if isinstance(a, KernelAggs) else None
+                if ak is not k0 and ak != k0:
+                    uniform = False
+                    break
+                g = groups.get(id(a.block))
+                if g is None:
+                    groups[id(a.block)] = g = (a.block, [], [], [])
+                g[1].append(pos)
+                g[2].append(a.plane)
+                g[3].append(node)
+            if uniform:
+                mat = np.empty((n, k0.width), dtype=k0.dtype)
+                for blk, positions, planes, nodes in groups.values():
+                    mat[positions] = blk[planes, nodes]
+                return KernelColumn(k0, mat)
+    col = np.empty(n, dtype=object)
+    for i, (a, node) in enumerate(pairs):
+        col[i] = a[node]
+    return col
+
+
 @register_phase("dist.search.forest_cols")
 def _phase_forest_cols(ctx: ProcContext, payload) -> tuple:
     """Step 5, columnar: walk resident elements, emit packed selections.
@@ -232,11 +274,18 @@ def _phase_forest_cols(ctx: ProcContext, payload) -> tuple:
     fid_col = inbox.col("forest_id")
     loc_col = inbox.col("location")
 
-    sel_qid: List[int] = []
-    sel_fid: List[List[int]] = []
+    # Selection output, split by granularity: qid and forest id are
+    # constant across one subquery's selections (fanned out by count at
+    # the end), while leaf counts, aggregates and pid rows vary per
+    # selection.  ``sel_agg`` keeps ``(aggs store, node)`` picks so
+    # typed (kernel) stores emit a typed column without decoding.
+    sq_qid: List[int] = []
+    sq_fid: List[List[int]] = []
+    sq_nsel: List[int] = []
     sel_nleaves: List[int] = []
-    sel_agg: List[Any] = []
-    sel_pids: List[Tuple[int, ...]] = []
+    sel_agg: List[Tuple[Any, int]] = []
+    sel_pids: List[Any] = []
+    any_pids = False
     pair_qids: List[np.ndarray] = []
     pair_pids: List[np.ndarray] = []
 
@@ -266,27 +315,67 @@ def _phase_forest_cols(ctx: ProcContext, payload) -> tuple:
             tuple(int(x) for x in los_m[i]), tuple(int(x) for x in his_m[i])
         )
         want_pids = _wants(collect_pids, qid)
-        fid_row = list(fid_flat)
-        for sel in el.canonical(box, stats=stats):
-            sel_qid.append(qid)
-            sel_fid.append(fid_row)
-            sel_nleaves.append(sel.leaf_count)
-            sel_agg.append(sel.agg())
-            sel_pids.append(el.selection_pids_array(sel) if want_pids else ())
+        sels = el.canonical_pairs(box, stats=stats)
+        if sels:
+            sq_qid.append(qid)
+            sq_fid.append(list(fid_flat))
+            sq_nsel.append(len(sels))
+            for tree, node in sels:
+                sel_nleaves.append(tree.seg.m >> (node.bit_length() - 1))
+                sel_agg.append((tree.aggs, node))
+            if want_pids:
+                any_pids = True
+                pid_arr = el.pids_array
+                sel_pids.extend(
+                    pid_arr[tree.rows_under(node)] for tree, node in sels
+                )
+            else:
+                sel_pids.extend([()] * len(sels))
         ctx.charge(max(1, stats.nodes_visited))
 
-    nsel = len(sel_qid)
-    agg_col = np.empty(nsel, dtype=object)
-    for i, a in enumerate(sel_agg):
-        agg_col[i] = a
+    nsel = len(sel_nleaves)
+    agg_col = _pack_selection_aggs(sel_agg)
+    counts = np.asarray(sq_nsel, dtype=np.int64)
+    qid_arr = (
+        np.repeat(np.asarray(sq_qid, dtype=np.int64), counts)
+        if nsel
+        else np.empty(0, dtype=np.int64)
+    )
+    if nsel:
+        widths = np.fromiter((len(f) for f in sq_fid), np.int64, len(sq_fid))
+        lengths = np.repeat(widths, counts)
+        offsets = np.zeros(nsel + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        flat = (
+            np.concatenate(
+                [
+                    np.tile(np.asarray(f, dtype=np.int64), int(c))
+                    for f, c in zip(sq_fid, counts)
+                ]
+            )
+            if int(offsets[-1])
+            else np.empty(0, dtype=np.int64)
+        )
+        fid_ragged = Ragged(flat, offsets)
+    else:
+        fid_ragged = Ragged(
+            np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64)
+        )
+    pid_ragged = (
+        Ragged.from_rows(sel_pids)
+        if any_pids
+        else Ragged(
+            np.empty(0, dtype=np.int64), np.zeros(nsel + 1, dtype=np.int64)
+        )
+    )
     selections = RecordBatch(
         "dist.forest_selection",
         {
-            "qid": np.asarray(sel_qid, dtype=np.int64),
-            "forest_id": Ragged.from_rows(sel_fid),
+            "qid": qid_arr,
+            "forest_id": fid_ragged,
             "nleaves": np.asarray(sel_nleaves, dtype=np.int64),
             "agg": agg_col,
-            "pid_tuple": Ragged.from_rows(sel_pids),
+            "pid_tuple": pid_ragged,
         },
         nsel,
     )

@@ -33,12 +33,19 @@ import numpy as np
 
 from ..cgm.columns import RecordBatch, RecordCodec, columnar_enabled, register_codec
 from ..cgm.sort import sample_sort, sample_sort_cols
-from ..dist.modes import fold_sorted_runs
+from ..dist.modes import accumulate_runs, fold_sorted_runs, resolve_sorted_runs
 from ..dist.search import run_search
-from ..errors import DimensionMismatch
-from ..semigroup import ProductSemigroup, Semigroup, product_semigroup
+from ..errors import DimensionMismatch, ProtocolError
+from ..semigroup import COUNT, ProductSemigroup, Semigroup, product_semigroup
+from ..semigroup.kernels import (
+    KernelColumn,
+    ProductKernel,
+    fold_segments,
+    kernel_enabled,
+    kernel_for,
+)
 from .descriptors import Query, QueryBatch
-from .modes import QuerySpec, get_mode
+from .modes import CountMode, QuerySpec, get_mode
 from .result import QueryResult, ResultSet
 
 __all__ = ["QueryEngine", "QueryPlan", "plan_batch"]
@@ -120,6 +127,46 @@ class _SelectionRow:
 
     def pids(self):
         return self.pid_tuple
+
+def _merge_runs(a: List[tuple], b: List[tuple]) -> List[tuple]:
+    """Merge two qid-ordered run lists with disjoint qids (a query folds
+    through exactly one plane) into one qid-ordered list."""
+    if not a:
+        return b
+    if not b:
+        return a
+    out: List[tuple] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        if a[i][0] < b[j][0]:
+            out.append(a[i])
+            i += 1
+        else:
+            out.append(b[j])
+            j += 1
+    out.extend(a[i:])
+    out.extend(b[j:])
+    return out
+
+
+class _KernelFoldPlan:
+    """Which specs fold through typed kernels, and how (driver-decided).
+
+    ``gid[qid]`` is ``-1`` for object-fold queries, else an index into
+    ``kinds``; a kind is ``("count", kernel, 0)`` — piece values are the
+    selections' leaf counts — or ``("slot", kernel, offset)`` — piece
+    values are one component's columns of the typed annotation storage,
+    starting at ``offset``.  ``width`` sizes the shared float64 piece
+    matrix (the widest participating kernel).
+    """
+
+    __slots__ = ("gid", "kinds", "width")
+
+    def __init__(self, gid: np.ndarray, kinds: list) -> None:
+        self.gid = gid
+        self.kinds = kinds
+        self.width = max(k.width for _kind, k, _off in kinds)
+
 
 #: Cap on annotation layers the lazy-refit cache keeps on a tree.  A
 #: long-lived tree serving many distinct per-query semigroups (say
@@ -310,8 +357,12 @@ class QueryEngine:
         specs = plan.specs
         p = mach.p
 
+        kernel_runs = None
         if columnar_enabled():
-            report_ids, fold_lists = self._demux_pieces_cols(plan, out)
+            kplan = self._kernel_fold_plan(plan)
+            report_ids, fold_lists, kernel_runs = self._demux_pieces_cols(
+                plan, out, kplan
+            )
         else:
             report_ids, fold_lists = self._demux_pieces(plan, out)
 
@@ -323,7 +374,22 @@ class QueryEngine:
             qid = a[0]
             return (qid, specs[qid].combine(a[1], b[1]))
 
-        folded = fold_sorted_runs(mach, fold_lists, op, None, "query:demux")
+        if kernel_runs is None:
+            folded = fold_sorted_runs(mach, fold_lists, op, None, "query:demux")
+        else:
+            # Kernel-plane queries arrive as precombined run totals from
+            # the segmented numpy folds; object-fold queries (disjoint
+            # qids) accumulate as before.  One merged, qid-ordered run
+            # list per rank feeds the same boundary-resolution round.
+            local_runs = [
+                _merge_runs(
+                    accumulate_runs(fold_lists[r], op), kernel_runs[r]
+                )
+                for r in range(p)
+            ]
+            folded = resolve_sorted_runs(
+                mach, local_runs, op, None, "query:demux"
+            )
 
         answers: List[Any] = [spec.finalize(spec.default) for spec in specs]
         for qid, ids in report_ids.items():
@@ -377,16 +443,108 @@ class QueryEngine:
                     fold_lists[r].append((qid, payload))
         return report_ids, fold_lists
 
-    def _demux_pieces_cols(self, plan: QueryPlan, out) -> Tuple[dict, List[list]]:
+    def _kernel_fold_plan(self, plan: QueryPlan) -> "_KernelFoldPlan | None":
+        """Resolve which fold-family specs ride typed kernel columns.
+
+        Count-mode queries always qualify (their piece values are the
+        typed ``nleaves`` column); aggregate-family queries qualify when
+        their semigroup has a kernel *and* the tree's annotation storage
+        is kernel-backed with a matching component slot.  Everything
+        else — top-k merges, user semigroups, object-plane trees —
+        keeps the per-record object fold, row by row, in the same batch.
+        """
+        if not kernel_enabled():
+            return None
+        specs = plan.specs
+        vk = getattr(self.tree, "value_kernel", None)
+        names = [c.name for c in plan.annotations]
+        kinds: List[tuple] = []
+        kind_index: Dict[tuple, int] = {}
+        gid = np.full(len(specs), -1, dtype=np.int64)
+        for i, spec in enumerate(specs):
+            if spec.report_pids or spec.forest_value is None:
+                continue
+            if spec.mode.__class__ is CountMode:
+                entry = ("count", kernel_for(COUNT), 0)
+            elif spec.semigroup is not None and vk is not None:
+                sk = kernel_for(spec.semigroup)
+                if sk is None or spec.semigroup.name not in names:
+                    continue
+                slot = names.index(spec.semigroup.name)
+                if isinstance(vk, ProductKernel):
+                    if slot >= len(vk.components) or vk.component(slot) != sk:
+                        continue
+                    entry = ("slot", sk, vk.offset(slot))
+                elif slot == 0 and vk == sk:
+                    entry = ("slot", sk, 0)
+                else:
+                    continue
+            else:
+                continue
+            key = (entry[0], entry[1].name, entry[2])
+            g = kind_index.get(key)
+            if g is None:
+                g = len(kinds)
+                kinds.append(entry)
+                kind_index[key] = g
+            gid[i] = g
+        if not kinds:
+            return None
+        return _KernelFoldPlan(gid, kinds)
+
+    def _fold_kernel_runs(
+        self, kq: np.ndarray, kmat: np.ndarray, kplan: _KernelFoldPlan
+    ) -> List[Tuple[int, Any]]:
+        """Run totals of the kernel-fold piece rows, via segmented folds.
+
+        ``kq``/``kmat`` are the qid-sorted kernel rows of one rank; runs
+        (contiguous equal qids) group by fold kind, each kind folding all
+        its runs in a handful of array calls — the engine's replacement
+        for one Python ``combine`` per piece.  Decoding happens once per
+        *run*, so the output is the exact ``(qid, (qid, value))`` tagged
+        structure :func:`~repro.dist.modes.accumulate_runs` produces.
+        """
+        if not len(kq):
+            return []
+        change = np.nonzero(kq[1:] != kq[:-1])[0] + 1
+        starts = np.concatenate(([0], change))
+        ends = np.concatenate((change, [len(kq)]))
+        run_q = kq[starts]
+        run_g = kplan.gid[run_q]
+        runs: List[Any] = [None] * len(starts)
+        for g, (_kind, kern, _off) in enumerate(kplan.kinds):
+            pos = np.nonzero(run_g == g)[0]
+            if not len(pos):
+                continue
+            folded = fold_segments(kern, kmat, starts[pos], ends[pos])
+            for j, at in enumerate(pos):
+                qid = int(run_q[at])
+                runs[at] = (qid, (qid, kern.decode_row(folded[j])))
+        return runs
+
+    def _demux_pieces_cols(
+        self, plan: QueryPlan, out, kplan: "_KernelFoldPlan | None" = None
+    ) -> Tuple[dict, List[list], "List[list] | None"]:
         """Columnar piece extraction: one ``query.piece`` batch per rank.
 
         Report-family pieces never touch Python loops: forest-selection
         pid tuples explode via ``np.repeat`` over the ragged column, the
         in-pass expansion pairs append their columns verbatim, and the
-        shared sort is the columnar sample sort keyed on ``qid``.  Only
-        fold-family pieces (one semigroup value per selection) go through
-        per-record extraction — they are the object column's reason to
-        exist.
+        shared sort is the columnar sample sort keyed on ``qid``.  With
+        a kernel fold plan, kernel-eligible fold pieces never touch
+        Python either — their values fill a shared float64 ``kval``
+        matrix straight from the typed ``nleaves``/``agg`` columns and
+        fold as segmented reductions after the sort — leaving per-record
+        extraction only to object-fold specs.
+
+        Known trade-off: ``kval`` is one dense per-row matrix so it can
+        ride the shared sort, which means a *mixed* batch pays
+        ``8 * W`` zero bytes per report piece in the demux rounds
+        (``W`` = widest eligible kernel; 1 for count/sum-only mixes).
+        Report-only batches plan no kernel folds (no ``kval``), and
+        fold-only batches waste nothing, so only report-heavy batches
+        mixed with wide aggregates (bbox/product) notice — a masked
+        column kind could drop it if that mix becomes hot.
         """
         mach = self.tree.machine
         specs = plan.specs
@@ -395,8 +553,9 @@ class QueryEngine:
         is_report = np.fromiter(
             (s.report_pids for s in specs), dtype=bool, count=n_specs
         )
+        W = kplan.width if kplan is not None else 0
 
-        def part(qids, pids, vals) -> "tuple | None":
+        def part(qids, pids, vals, kvals=None) -> "tuple | None":
             n = len(qids)
             if n == 0:
                 return None
@@ -406,11 +565,18 @@ class QueryEngine:
                 if pids is not None
                 else np.full(n, -1, dtype=np.int64)
             )
-            val_col = np.empty(n, dtype=object)
-            if vals is not None:
-                for i, v in enumerate(vals):
-                    val_col[i] = v
-            return (qid_col, pid_col, val_col)
+            if isinstance(vals, np.ndarray):
+                val_col = vals
+            else:
+                val_col = np.empty(n, dtype=object)
+                if vals is not None:
+                    for i, v in enumerate(vals):
+                        val_col[i] = v
+            if not W:
+                return (qid_col, pid_col, val_col)
+            if kvals is None:
+                kvals = np.zeros((n, W), dtype=np.float64)
+            return (qid_col, pid_col, val_col, kvals)
 
         batches: List[RecordBatch] = []
         for r in range(p):
@@ -418,28 +584,76 @@ class QueryEngine:
             # hat fold pieces (selection records; small per query)
             hq: List[int] = []
             hv: List[Any] = []
+            hk: List[Tuple[int, int, Any]] = []  # (row, gid, value)
             for h in out.hat_selections[r]:
                 spec = specs[h.qid]
-                if spec.hat_value is not None:
+                if spec.hat_value is None:
+                    continue
+                g = int(kplan.gid[h.qid]) if kplan is not None else -1
+                if g >= 0:
+                    hk.append((len(hq), g, spec.hat_value(h)))
+                    hq.append(h.qid)
+                    hv.append(None)
+                else:
                     hq.append(h.qid)
                     hv.append((h.qid, spec.hat_value(h)))
-            parts.append(part(hq, None, hv))
+            hkv = None
+            if hk and W:
+                hkv = np.zeros((len(hq), W), dtype=np.float64)
+                for g, (_kind, kern, _off) in enumerate(kplan.kinds):
+                    rows = [(at, v) for at, gg, v in hk if gg == g]
+                    if rows:
+                        enc = kern.encode([v for _at, v in rows])
+                        hkv[[at for at, _v in rows], : kern.width] = enc
+            parts.append(part(hq, None, hv, hkv))
             fb = out.forest_selections[r]
             if len(fb):
                 fqid = np.asarray(fb.col("qid"))
                 rep = is_report[fqid]
-                fidx = np.nonzero(~rep)[0]
-                fq: List[int] = []
-                fv: List[Any] = []
-                row = _SelectionRow(fb.cols)
-                for i in fidx:
-                    q = int(fqid[i])
-                    spec = specs[q]
-                    if spec.forest_value is not None:
+                has_fv = np.fromiter(
+                    (s.forest_value is not None for s in specs),
+                    dtype=bool,
+                    count=n_specs,
+                )
+                fidx = np.nonzero(~rep & has_fv[fqid])[0]
+                if len(fidx):
+                    fq_col = fqid[fidx]
+                    nf = len(fidx)
+                    f_val = np.empty(nf, dtype=object)
+                    f_kval = (
+                        np.zeros((nf, W), dtype=np.float64) if W else None
+                    )
+                    fg = (
+                        kplan.gid[fq_col]
+                        if kplan is not None
+                        else np.full(nf, -1, dtype=np.int64)
+                    )
+                    row = _SelectionRow(fb.cols)
+                    for at in np.nonzero(fg < 0)[0]:
+                        i = int(fidx[at])
+                        q = int(fq_col[at])
                         row.i = i
-                        fq.append(q)
-                        fv.append((q, spec.forest_value(row)))
-                parts.append(part(fq, None, fv))
+                        f_val[at] = (q, specs[q].forest_value(row))
+                    if kplan is not None:
+                        nlv = np.asarray(fb.col("nleaves"))
+                        agg_col = fb.cols["agg"]
+                        for g, (kind, kern, off) in enumerate(kplan.kinds):
+                            pos = np.nonzero(fg == g)[0]
+                            if not len(pos):
+                                continue
+                            rows_idx = fidx[pos]
+                            if kind == "count":
+                                f_kval[pos, 0] = nlv[rows_idx]
+                            else:
+                                if not isinstance(agg_col, KernelColumn):
+                                    raise ProtocolError(
+                                        "kernel fold planned over an "
+                                        "object-typed selection column"
+                                    )
+                                f_kval[pos, : kern.width] = agg_col.data[
+                                    rows_idx, off : off + kern.width
+                                ]
+                    parts.append(part(fq_col, None, f_val, f_kval))
                 ridx = np.nonzero(rep)[0]
                 if len(ridx):
                     pt = fb.col("pid_tuple").take(ridx)
@@ -457,12 +671,16 @@ class QueryEngine:
                     "pid": np.concatenate([x[1] for x in parts]),
                     "val": np.concatenate([x[2] for x in parts]),
                 }
+                if W:
+                    cols["kval"] = np.concatenate([x[3] for x in parts])
             else:
                 cols = {
                     "qid": np.empty(0, dtype=np.int64),
                     "pid": np.empty(0, dtype=np.int64),
                     "val": np.empty(0, dtype=object),
                 }
+                if W:
+                    cols["kval"] = np.zeros((0, W), dtype=np.float64)
             batches.append(RecordBatch("query.piece", cols))
 
         ordered = sample_sort_cols(
@@ -471,6 +689,9 @@ class QueryEngine:
 
         report_ids: dict[int, List[int]] = {}
         fold_lists: List[List[Tuple[int, Any]]] = [[] for _ in range(p)]
+        kernel_runs: "List[list] | None" = (
+            [[] for _ in range(p)] if kplan is not None else None
+        )
         for r in range(p):
             b = ordered[r]
             if not len(b):
@@ -491,8 +712,18 @@ class QueryEngine:
                         rp[s:e].tolist()
                     )
             fidx = np.nonzero(~rep)[0]
-            fold_lists[r] = [(int(q[i]), val_col[i]) for i in fidx]
-        return report_ids, fold_lists
+            if kplan is None:
+                fold_lists[r] = [(int(q[i]), val_col[i]) for i in fidx]
+            else:
+                fg = kplan.gid[q[fidx]]
+                fold_lists[r] = [
+                    (int(q[i]), val_col[i]) for i in fidx[fg < 0]
+                ]
+                ker = fidx[fg >= 0]
+                kernel_runs[r] = self._fold_kernel_runs(
+                    q[ker], np.asarray(b.col("kval"))[ker], kplan
+                )
+        return report_ids, fold_lists, kernel_runs
 
 
 def plan_batch(tree, batch: QueryBatch) -> QueryPlan:

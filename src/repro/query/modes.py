@@ -66,6 +66,11 @@ class QuerySpec:
     hat_value: Callable[[Any], Any] | None = None
     forest_value: Callable[[Any], Any] | None = None
     report_pids: bool = False
+    #: The semigroup this query folds (``None`` when the mode needs no
+    #: annotation, e.g. count).  Lets the engine resolve a columnar
+    #: kernel for the query's pieces; modes that leave it unset simply
+    #: keep the object fold path.
+    semigroup: Semigroup | None = None
 
 
 class OutputMode:
@@ -137,6 +142,7 @@ class AggregateMode(OutputMode):
             finalize=lambda v: v,
             hat_value=lambda h: extract(h.agg),
             forest_value=lambda f: extract(f.agg),
+            semigroup=semigroup,
         )
 
 

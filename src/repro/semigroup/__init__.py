@@ -16,6 +16,17 @@ from .builtin import (
     moments_of_dim,
     sum_of_dim,
 )
+from .kernels import (
+    KernelAggs,
+    KernelColumn,
+    SemigroupKernel,
+    get_valueplane,
+    kernel_enabled,
+    kernel_for,
+    register_kernel_resolver,
+    set_valueplane,
+    valueplane,
+)
 
 __all__ = [
     "Semigroup",
@@ -35,4 +46,13 @@ __all__ = [
     "moments_of_dim",
     "top_k_ids",
     "histogram_of_dim",
+    "SemigroupKernel",
+    "KernelColumn",
+    "KernelAggs",
+    "kernel_for",
+    "register_kernel_resolver",
+    "get_valueplane",
+    "set_valueplane",
+    "valueplane",
+    "kernel_enabled",
 ]

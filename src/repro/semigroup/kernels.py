@@ -1,0 +1,739 @@
+"""The semigroup kernel engine: dtype-aware columnar value folds.
+
+The associative-function machinery spends its local work in semigroup
+folds — node annotation during Algorithm Construct and per-query piece
+aggregation during Search.  Carried as a numpy ``object`` column and
+combined one Python ``combine(a, b)`` call at a time, those folds are
+the dominant interpreter cost left on the hot path.  This module maps
+the *builtin* semigroups onto **kernels**: fixed-width typed numpy
+columns (int64 for count, float64 for sums/extremes/boxes, concatenated
+blocks for :class:`~repro.semigroup.builtin.ProductSemigroup`) whose
+folds run as segmented numpy reductions over a whole record stream in a
+handful of array calls.
+
+Bit-identity contract
+---------------------
+A kernel must reproduce the object plane's answers *bit for bit*, so the
+reduction order is chosen per column kind (``col_ops``):
+
+* ``"iadd"`` — integer-exact addition (count slots): any association is
+  exact, so ``np.add.reduceat`` (pairwise) is safe.
+* ``"fadd"`` — float addition (sum slots): numpy's pairwise summation
+  does **not** match the object plane's sequential left fold, so
+  segmented folds run a masked position-by-position left fold instead —
+  ``O(max segment length)`` vectorized steps, each combining one element
+  into every open segment's accumulator in the exact object-plane order.
+* ``"min"`` — min/max/bbox slots: max slots are stored *negated* so
+  every extreme is an ``np.minimum`` (decode flips the sign back, which
+  is exact in IEEE-754); min folds are associative-exact, so
+  ``np.minimum.reduceat`` is safe.
+
+Heap folds (node annotation) combine children pairwise by structure on
+both planes, so the vectorized level-by-level fold is bit-identical by
+construction for every column kind.
+
+Resolution and the value plane
+------------------------------
+:func:`kernel_for` resolves a :class:`~repro.semigroup.base.Semigroup`
+to its kernel by inspecting the *functions* it was built from (never the
+name, which users may reuse), walking an extensible resolver registry
+(:func:`register_kernel_resolver`).  Unkernelizable semigroups — unions,
+top-k merges, user lambdas — resolve to ``None`` and transparently keep
+the object path.
+
+:func:`valueplane` / :func:`set_valueplane` toggle the engine globally
+(``"kernel"``, the default, or ``"object"``) with the same A/B
+discipline as :func:`repro.cgm.columns.dataplane`: the toggle is
+consulted driver-side only (construct, refit, demux), so worker
+processes need no synchronization — the chosen representation simply
+rides the payloads.
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+import os
+from contextlib import contextmanager
+from functools import lru_cache, partial
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import Semigroup
+from .builtin import (
+    ProductSemigroup,
+    _bbox_combine,
+    _bbox_lift,
+    _lift_coord,
+    _lift_one,
+)
+
+__all__ = [
+    "SemigroupKernel",
+    "CountKernel",
+    "SumKernel",
+    "MinKernel",
+    "MaxKernel",
+    "BBoxKernel",
+    "ProductKernel",
+    "KernelColumn",
+    "KernelAggs",
+    "kernel_for",
+    "register_kernel_resolver",
+    "heap_fold",
+    "batched_heap_fold",
+    "fold_segments",
+    "lift_kernel_column",
+    "get_valueplane",
+    "set_valueplane",
+    "valueplane",
+    "kernel_enabled",
+]
+
+_I64 = np.int64
+_F64 = np.float64
+
+#: Column fold kinds (see module docstring for the bit-identity rules).
+OP_IADD = "iadd"
+OP_FADD = "fadd"
+OP_MIN = "min"
+
+
+# ---------------------------------------------------------------------------
+# the kernel interface and the builtin kernels
+# ---------------------------------------------------------------------------
+class SemigroupKernel:
+    """A dtype-aware columnar representation of one semigroup's values.
+
+    Values live as ``(n, width)`` matrices of ``dtype``; ``col_ops``
+    names the fold kind of every column; ``identity_row`` is the encoded
+    identity (max/bbox-max slots already negated).  ``encode`` maps a
+    list of object-plane values to a matrix, ``decode_row`` inverts one
+    row back to the exact object-plane value (type included) — the
+    round trip is bit-identical, property-tested per kernel.
+
+    ``lift_columns`` (optional) vectorizes the semigroup's *lift*: it
+    encodes a whole coordinate matrix straight into value columns,
+    skipping one Python ``lift`` call per point.  Exact because the
+    builtin lifts read ``float64`` coordinates unchanged; kernels whose
+    lift cannot vectorize return ``None`` and callers fall back to
+    per-point lifting plus :meth:`encode`.
+    """
+
+    name: str = ""
+    width: int = 1
+    dtype: Any = _F64
+    col_ops: Tuple[str, ...] = ()
+    identity_row: Tuple[float, ...] = ()
+
+    def encode(self, values: Sequence[Any]) -> np.ndarray:
+        raise NotImplementedError
+
+    def decode_row(self, row: Sequence[Any]) -> Any:
+        raise NotImplementedError
+
+    def lift_columns(
+        self, sg: Semigroup, coords: np.ndarray
+    ) -> "np.ndarray | None":
+        return None
+
+    def decode(self, mat: np.ndarray, i: int) -> Any:
+        return self.decode_row(mat[i])
+
+    def decode_list(self, mat: np.ndarray) -> List[Any]:
+        return [self.decode_row(row) for row in mat]
+
+    def identity_mat(self, k: int) -> np.ndarray:
+        out = np.empty((k, self.width), dtype=self.dtype)
+        out[:] = np.asarray(self.identity_row, dtype=self.dtype)
+        return out
+
+    # equality by name: kernels are parameterized only by what the name
+    # encodes (bbox dimension, product layout), so resolving the same
+    # semigroup twice yields interchangeable kernels.
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SemigroupKernel) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, width={self.width})"
+
+
+class CountKernel(SemigroupKernel):
+    """Counting: one int64 column, folded with exact addition."""
+
+    name = "count"
+    width = 1
+    dtype = _I64
+    col_ops = (OP_IADD,)
+    identity_row = (0,)
+
+    def encode(self, values):
+        return np.asarray(values, dtype=_I64).reshape(len(values), 1)
+
+    def decode_row(self, row):
+        return int(row[0])
+
+    def lift_columns(self, sg, coords):
+        return np.ones((len(coords), 1), dtype=_I64)
+
+
+class SumKernel(SemigroupKernel):
+    """Float sum: one float64 column, folded in sequential order."""
+
+    name = "sum"
+    width = 1
+    dtype = _F64
+    col_ops = (OP_FADD,)
+    identity_row = (0.0,)
+
+    def encode(self, values):
+        return np.asarray(values, dtype=_F64).reshape(len(values), 1)
+
+    def decode_row(self, row):
+        return float(row[0])
+
+    def lift_columns(self, sg, coords):
+        return _coord_lift_column(sg, coords)
+
+
+class MinKernel(SemigroupKernel):
+    """Float minimum: one float64 column, identity ``+inf``."""
+
+    name = "min"
+    width = 1
+    dtype = _F64
+    col_ops = (OP_MIN,)
+    identity_row = (math.inf,)
+
+    def encode(self, values):
+        return np.asarray(values, dtype=_F64).reshape(len(values), 1)
+
+    def decode_row(self, row):
+        return float(row[0])
+
+    def lift_columns(self, sg, coords):
+        return _coord_lift_column(sg, coords)
+
+
+class MaxKernel(SemigroupKernel):
+    """Float maximum, stored negated so the fold is ``np.minimum``."""
+
+    name = "max"
+    width = 1
+    dtype = _F64
+    col_ops = (OP_MIN,)
+    identity_row = (math.inf,)  # encoded: -(-inf)
+
+    def encode(self, values):
+        return -np.asarray(values, dtype=_F64).reshape(len(values), 1)
+
+    def decode_row(self, row):
+        return float(-row[0])
+
+    def lift_columns(self, sg, coords):
+        col = _coord_lift_column(sg, coords)
+        return None if col is None else -col
+
+
+class BBoxKernel(SemigroupKernel):
+    """Bounding boxes: ``(mins, maxs)`` tuples as ``2d`` float64 columns.
+
+    The max half is stored negated (the sign trick), so the whole row
+    folds under one ``np.minimum`` and the empty box — all ``+inf`` —
+    is the natural identity.
+    """
+
+    dtype = _F64
+
+    def __init__(self, d: int) -> None:
+        self.d = d
+        self.name = f"bbox{d}"
+        self.width = 2 * d
+        self.col_ops = (OP_MIN,) * (2 * d)
+        self.identity_row = (math.inf,) * (2 * d)
+
+    def encode(self, values):
+        d = self.d
+        out = np.empty((len(values), 2 * d), dtype=_F64)
+        if len(values):
+            out[:, :d] = np.asarray([v[0] for v in values], dtype=_F64)
+            out[:, d:] = -np.asarray([v[1] for v in values], dtype=_F64)
+        return out
+
+    def decode_row(self, row):
+        d = self.d
+        return (
+            tuple(float(x) for x in row[:d]),
+            tuple(float(-x) for x in row[d:]),
+        )
+
+    def lift_columns(self, sg, coords):
+        if coords.shape[1] != self.d:
+            return None
+        c = np.asarray(coords, dtype=_F64)
+        return np.hstack([c, -c])
+
+
+class ProductKernel(SemigroupKernel):
+    """Componentwise product: component blocks concatenated column-wise.
+
+    ``offset(i)``/``component(i)`` expose the slot layout so the query
+    engine can fold one component's columns without touching the rest —
+    the annotation-layer slot extraction, vectorized.
+    """
+
+    def __init__(self, components: Sequence[SemigroupKernel]) -> None:
+        self.components = tuple(components)
+        self.name = "product(" + ",".join(c.name for c in self.components) + ")"
+        self.width = sum(c.width for c in self.components)
+        self.dtype = (
+            _I64 if all(c.dtype == _I64 for c in self.components) else _F64
+        )
+        self.col_ops = tuple(
+            op for c in self.components for op in c.col_ops
+        )
+        self.identity_row = tuple(
+            x for c in self.components for x in c.identity_row
+        )
+        offs = []
+        off = 0
+        for c in self.components:
+            offs.append(off)
+            off += c.width
+        self._offsets = tuple(offs)
+
+    def offset(self, i: int) -> int:
+        return self._offsets[i]
+
+    def component(self, i: int) -> SemigroupKernel:
+        return self.components[i]
+
+    def encode(self, values):
+        out = np.empty((len(values), self.width), dtype=self.dtype)
+        for i, c in enumerate(self.components):
+            off = self._offsets[i]
+            out[:, off : off + c.width] = c.encode([v[i] for v in values])
+        return out
+
+    def decode_row(self, row):
+        return tuple(
+            c.decode_row(row[off : off + c.width])
+            for c, off in zip(self.components, self._offsets)
+        )
+
+    def lift_columns(self, sg, coords):
+        if not isinstance(sg, ProductSemigroup) or len(sg.components) != len(
+            self.components
+        ):
+            return None
+        blocks = []
+        for c, comp_sg in zip(self.components, sg.components):
+            block = c.lift_columns(comp_sg, coords)
+            if block is None:
+                return None
+            blocks.append(block.astype(self.dtype, copy=False))
+        return np.hstack(blocks)
+
+
+def _coord_lift_column(sg: Semigroup, coords: np.ndarray) -> "np.ndarray | None":
+    """Vectorized ``partial(_lift_coord, dim=k)``: one coordinate column."""
+    if not isinstance(sg.lift, partial) or sg.lift.func is not _lift_coord:
+        return None
+    dim = sg.lift.keywords.get("dim", 0)
+    if not 0 <= dim < coords.shape[1]:
+        return None
+    return np.ascontiguousarray(
+        coords[:, dim], dtype=_F64
+    ).reshape(len(coords), 1)
+
+
+def lift_kernel_column(
+    kernel: SemigroupKernel,
+    sg: Semigroup,
+    coords: np.ndarray,
+    n_total: int,
+) -> "KernelColumn | None":
+    """Lift a whole coordinate matrix into a padded typed value column.
+
+    Rows past ``len(coords)`` (power-of-two padding sentinels) get the
+    encoded identity, matching the object plane's sentinel values.
+    Returns ``None`` when the kernel cannot vectorize this lift — the
+    caller then lifts per point and encodes.
+    """
+    block = kernel.lift_columns(sg, np.asarray(coords, dtype=_F64))
+    if block is None:
+        return None
+    n_real = len(block)
+    if n_total == n_real:
+        return KernelColumn(kernel, block.astype(kernel.dtype, copy=False))
+    mat = np.empty((n_total, kernel.width), dtype=kernel.dtype)
+    mat[:n_real] = block
+    mat[n_real:] = np.asarray(kernel.identity_row, dtype=kernel.dtype)
+    return KernelColumn(kernel, mat)
+
+
+# ---------------------------------------------------------------------------
+# vectorized folds shared by every kernel
+# ---------------------------------------------------------------------------
+def _col_groups(col_ops: Sequence[str]) -> List[Tuple[str, List[int]]]:
+    groups: dict[str, List[int]] = {}
+    for j, op in enumerate(col_ops):
+        groups.setdefault(op, []).append(j)
+    return list(groups.items())
+
+
+def combine_mats(kernel: SemigroupKernel, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise ``⊕`` of two value matrices (the vectorized combine)."""
+    out = np.empty_like(a)
+    for op, cols in _col_groups(kernel.col_ops):
+        if op == OP_MIN:
+            out[:, cols] = np.minimum(a[:, cols], b[:, cols])
+        else:
+            out[:, cols] = a[:, cols] + b[:, cols]
+    return out
+
+
+def heap_fold(kernel: SemigroupKernel, leaves: np.ndarray) -> np.ndarray:
+    """Heap-ordered node aggregates from ``m`` leaf rows, level by level.
+
+    Returns a ``(2m, width)`` matrix: row ``m + k`` is leaf ``k``, row
+    ``v < m`` is ``combine(row 2v, row 2v+1)`` and row 0 the identity.
+    Children combine pairwise — the exact association of the object
+    plane's bottom-up loop — so every column kind is bit-identical.
+    """
+    m = len(leaves)
+    out = np.empty((2 * m, kernel.width), dtype=kernel.dtype)
+    out[0] = np.asarray(kernel.identity_row, dtype=kernel.dtype)
+    out[m:] = leaves
+    groups = _col_groups(kernel.col_ops)
+    pos = m
+    while pos > 1:
+        lo = pos >> 1
+        left = out[pos : 2 * pos : 2]
+        right = out[pos + 1 : 2 * pos : 2]
+        for op, cols in groups:
+            if op == OP_MIN:
+                out[lo:pos, cols] = np.minimum(left[:, cols], right[:, cols])
+            else:
+                out[lo:pos, cols] = left[:, cols] + right[:, cols]
+        pos = lo
+    return out
+
+
+def batched_heap_fold(kernel: SemigroupKernel, leaves: np.ndarray) -> np.ndarray:
+    """:func:`heap_fold` over a stack of equal-size trees at once.
+
+    ``leaves`` is ``(trees, m, width)``; the result is ``(trees, 2m,
+    width)`` with each tree's heap in its own plane.  One level loop
+    annotates the whole stack — the batching that makes kernel
+    annotation win even when a range tree holds thousands of tiny
+    last-dimension trees (per-tree numpy calls would cost more than the
+    Python combines they replace).
+    """
+    k, m, w = leaves.shape
+    out = np.empty((k, 2 * m, w), dtype=kernel.dtype)
+    out[:, 0] = np.asarray(kernel.identity_row, dtype=kernel.dtype)
+    out[:, m:] = leaves
+    groups = _col_groups(kernel.col_ops)
+    pos = m
+    while pos > 1:
+        lo = pos >> 1
+        left = out[:, pos : 2 * pos : 2]
+        right = out[:, pos + 1 : 2 * pos : 2]
+        for op, cols in groups:
+            if op == OP_MIN:
+                out[:, lo:pos, cols] = np.minimum(
+                    left[:, :, cols], right[:, :, cols]
+                )
+            else:
+                out[:, lo:pos, cols] = left[:, :, cols] + right[:, :, cols]
+        pos = lo
+    return out
+
+
+def fold_segments(
+    kernel: SemigroupKernel,
+    mat: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+) -> np.ndarray:
+    """Fold ``mat[starts[i]:ends[i]]`` row ranges; identity for empties.
+
+    The segmented reduction at the heart of the engine: ``reduceat``
+    over interleaved ``(start, end)`` boundaries for the associativity-
+    exact columns, a masked sequential left fold for float-add columns
+    (see the module docstring's bit-identity rules).  Only the first
+    ``kernel.width`` columns of ``mat`` participate, so a kernel can
+    fold its slice of a wider shared piece matrix in place.
+    """
+    k = len(starts)
+    w = kernel.width
+    out = np.empty((k, w), dtype=mat.dtype)
+    out[:] = np.asarray(kernel.identity_row, dtype=mat.dtype)
+    if k == 0:
+        return out
+    starts = np.asarray(starts, dtype=_I64)
+    ends = np.asarray(ends, dtype=_I64)
+    ne = ends > starts
+    if not bool(ne.any()):
+        return out
+    s = starts[ne]
+    e = ends[ne]
+    ne_idx = np.nonzero(ne)[0]
+    n = len(mat)
+
+    # reduceat boundaries: [s0, e0, s1, e1, ...] with results at [::2];
+    # a trailing end == n is dropped (reduceat then folds a[s_last:]).
+    pairs = np.empty(2 * len(s), dtype=_I64)
+    pairs[0::2] = s
+    pairs[1::2] = e
+    if pairs[-1] == n:
+        pairs = pairs[:-1]
+
+    fadd_cols: List[int] = []
+    for op, cols in _col_groups(kernel.col_ops):
+        if op == OP_FADD:
+            fadd_cols.extend(cols)
+            continue
+        ufunc = np.minimum if op == OP_MIN else np.add
+        red = ufunc.reduceat(mat[:, cols], pairs, axis=0)[::2]
+        out[np.ix_(ne_idx, cols)] = red
+
+    if fadd_cols:
+        sub = mat[:, fadd_cols]
+        lengths = e - s
+        acc = sub[s].copy()
+        for i in range(1, int(lengths.max())):
+            m_open = i < lengths
+            acc[m_open] += sub[s[m_open] + i]
+        out[np.ix_(ne_idx, fadd_cols)] = acc
+    return out
+
+
+# ---------------------------------------------------------------------------
+# typed columns and heap annotations (the batch/tree carriers)
+# ---------------------------------------------------------------------------
+class KernelColumn:
+    """A typed value column: one ``(n, width)`` matrix plus its kernel.
+
+    The drop-in replacement for the object value column of a
+    :class:`~repro.cgm.columns.RecordBatch`: integer indexing decodes
+    one object-plane value (so lazy record unpacking keeps working),
+    slices/arrays produce new columns, and ``nbytes`` is *exact* —
+    kernel-backed value traffic needs no sampled byte estimates.
+    """
+
+    __slots__ = ("kernel", "data")
+
+    def __init__(self, kernel: SemigroupKernel, data: np.ndarray) -> None:
+        self.kernel = kernel
+        self.data = np.asarray(data, dtype=kernel.dtype).reshape(-1, kernel.width)
+
+    @classmethod
+    def from_values(
+        cls, kernel: SemigroupKernel, values: Sequence[Any]
+    ) -> "KernelColumn":
+        return cls(kernel, kernel.encode(list(values)))
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __getitem__(self, i):
+        if isinstance(i, (int, np.integer)):
+            return self.kernel.decode(self.data, int(i))
+        if isinstance(i, slice):
+            return KernelColumn(self.kernel, self.data[i])
+        return self.take(np.asarray(i, dtype=_I64))
+
+    def __iter__(self):
+        for i in range(len(self.data)):
+            yield self.kernel.decode(self.data, i)
+
+    def take(self, idx: np.ndarray) -> "KernelColumn":
+        return KernelColumn(self.kernel, self.data[np.asarray(idx, dtype=_I64)])
+
+    def islice(self, start: int, stop: int) -> "KernelColumn":
+        return KernelColumn(self.kernel, self.data[start:stop])
+
+    def repeat(self, k: int) -> "KernelColumn":
+        return KernelColumn(self.kernel, np.repeat(self.data, k, axis=0))
+
+    @classmethod
+    def concat(cls, cols: Sequence["KernelColumn"]) -> "KernelColumn":
+        return cls(cols[0].kernel, np.concatenate([c.data for c in cols]))
+
+    def to_list(self) -> List[Any]:
+        return self.kernel.decode_list(self.data)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KernelColumn({self.kernel.name!r}, n={len(self.data)})"
+
+
+class KernelAggs:
+    """Heap-ordered node aggregates as one typed matrix (``aggs`` twin).
+
+    Indexing by heap node id decodes the object-plane value, so
+    :meth:`repro.seq.range_tree.CanonicalSelection.agg` and friends work
+    unchanged; the search phases read :attr:`mat` directly to emit typed
+    selection columns without per-node decoding.
+
+    ``block``/``plane`` expose the 3-D batch this heap was folded inside
+    (``mat is block[plane]``): consumers gathering rows from *many*
+    aggs stores — the forest walk's selection column — group picks by
+    block and fetch each group with one fancy index instead of a numpy
+    row copy per selection.  A standalone heap is its own 1-plane block.
+    """
+
+    __slots__ = ("kernel", "mat", "block", "plane")
+
+    def __init__(
+        self,
+        kernel: SemigroupKernel,
+        mat: np.ndarray,
+        block: "np.ndarray | None" = None,
+        plane: int = 0,
+    ) -> None:
+        self.kernel = kernel
+        self.mat = mat
+        self.block = block if block is not None else mat[None]
+        self.plane = plane
+
+    @classmethod
+    def build(cls, column: KernelColumn, order: np.ndarray) -> "KernelAggs":
+        return cls(column.kernel, heap_fold(column.kernel, column.data[order]))
+
+    def __getstate__(self):
+        # never pickle the shared batch block: every tree of a size
+        # class references it, and replication ships whole elements —
+        # the per-tree view (materialized by numpy's pickle) suffices
+        return (self.kernel, self.mat)
+
+    def __setstate__(self, state) -> None:
+        self.kernel, self.mat = state
+        self.block = self.mat[None]
+        self.plane = 0
+
+    def __len__(self) -> int:
+        return len(self.mat)
+
+    def __getitem__(self, node: int) -> Any:
+        return self.kernel.decode(self.mat, int(node))
+
+
+# ---------------------------------------------------------------------------
+# resolution: Semigroup -> kernel (or None)
+# ---------------------------------------------------------------------------
+def _is_coord_lift(fn: Any) -> bool:
+    return isinstance(fn, partial) and fn.func is _lift_coord
+
+
+def _resolve_builtin(sg: Semigroup) -> Optional[SemigroupKernel]:
+    if isinstance(sg, ProductSemigroup):
+        comps = [kernel_for(c) for c in sg.components]
+        if any(c is None for c in comps):
+            return None
+        return ProductKernel(comps)  # type: ignore[arg-type]
+    if sg.combine is operator.add:
+        if sg.lift is _lift_one and sg.identity == 0 and isinstance(sg.identity, int):
+            return _COUNT_KERNEL
+        if _is_coord_lift(sg.lift) and isinstance(sg.identity, float) and sg.identity == 0.0:
+            return _SUM_KERNEL
+        return None
+    if sg.combine is min and _is_coord_lift(sg.lift) and sg.identity == math.inf:
+        return _MIN_KERNEL
+    if sg.combine is max and _is_coord_lift(sg.lift) and sg.identity == -math.inf:
+        return _MAX_KERNEL
+    if sg.lift is _bbox_lift and sg.combine is _bbox_combine:
+        return BBoxKernel(len(sg.identity[0]))
+    return None
+
+
+_COUNT_KERNEL = CountKernel()
+_SUM_KERNEL = SumKernel()
+_MIN_KERNEL = MinKernel()
+_MAX_KERNEL = MaxKernel()
+
+_RESOLVERS: List[Callable[[Semigroup], Optional[SemigroupKernel]]] = [
+    _resolve_builtin
+]
+
+
+def register_kernel_resolver(
+    fn: Callable[[Semigroup], Optional[SemigroupKernel]]
+) -> Callable[[Semigroup], Optional[SemigroupKernel]]:
+    """Register an extension resolver (consulted before the builtins).
+
+    ``fn(semigroup)`` returns a kernel or ``None``; third-party
+    semigroups gain vectorized folds without touching this module.
+    Clears the resolution cache.
+    """
+    _RESOLVERS.insert(0, fn)
+    kernel_for.cache_clear()
+    return fn
+
+
+@lru_cache(maxsize=512)
+def kernel_for(sg: Semigroup) -> Optional[SemigroupKernel]:
+    """The kernel backing ``sg``, or ``None`` (object-path fallback).
+
+    Resolution inspects the semigroup's actual lift/combine functions —
+    a user semigroup merely *named* "count" with different semantics
+    never matches — and is cached per semigroup instance.
+    """
+    for resolver in _RESOLVERS:
+        kernel = resolver(sg)
+        if kernel is not None:
+            return kernel
+    return None
+
+
+# ---------------------------------------------------------------------------
+# the value-plane toggle (A/B discipline of the dataplane switch)
+# ---------------------------------------------------------------------------
+_VALUEPLANES = ("kernel", "object")
+_valueplane: str = os.environ.get("REPRO_VALUEPLANE", "kernel")
+if _valueplane not in _VALUEPLANES:  # pragma: no cover - env misuse
+    _valueplane = "kernel"
+
+
+def get_valueplane() -> str:
+    """The active value plane: ``"kernel"`` (default) or ``"object"``."""
+    return _valueplane
+
+
+def set_valueplane(name: str) -> None:
+    """Select the semigroup-value representation for subsequent passes.
+
+    Driver-side only, like the data plane: the toggle decides what the
+    drivers encode into payloads and how the engine folds pieces; worker
+    processes simply follow the representation that arrives.
+    """
+    global _valueplane
+    if name not in _VALUEPLANES:
+        raise ValueError(
+            f"unknown valueplane {name!r}; choose one of {_VALUEPLANES}"
+        )
+    _valueplane = name
+
+
+@contextmanager
+def valueplane(name: str):
+    """Temporarily select a value plane (the A/B benchmark's switch)."""
+    prev = get_valueplane()
+    set_valueplane(name)
+    try:
+        yield
+    finally:
+        set_valueplane(prev)
+
+
+def kernel_enabled() -> bool:
+    return _valueplane == "kernel"

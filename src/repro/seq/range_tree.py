@@ -31,6 +31,8 @@ from ..geometry.box import Box, RankBox
 from ..geometry.point import PointSet
 from ..geometry.rankspace import RankedPointSet, pad_to_power_of_two
 from ..semigroup import COUNT, Semigroup
+from ..semigroup.kernels import KernelAggs, KernelColumn
+from ..semigroup.kernels import batched_heap_fold as _batched_heap_fold
 from .segment_tree import SegTree, WalkStats
 
 __all__ = ["RangeTree", "DimTree", "SequentialRangeTree", "CanonicalSelection"]
@@ -151,14 +153,21 @@ class RangeTree:
         else:
             rows = np.asarray(rows, dtype=np.int64)
         self.root_tree = self._build(rows, start_dim)
+        if isinstance(values, KernelColumn):
+            self._annotate_kernel(values)
 
     # ------------------------------------------------------------------
     # construction (the classical bottom-up sequential algorithm)
     # ------------------------------------------------------------------
     def _build(self, rows: np.ndarray, dim: int) -> DimTree:
         order = rows[np.argsort(self.ranks[rows, dim], kind="stable")]
-        seg = SegTree(self.ranks[order, dim])
+        # ranks are unique per dimension and just sorted: trusted input
+        seg = SegTree(self.ranks[order, dim], validate=False)
         if dim == self.d - 1:
+            if isinstance(self.values, KernelColumn):
+                # kernel value plane: annotation is deferred to one
+                # batched fold over all last-dimension trees
+                return DimTree(dim, seg, order, None, None)
             aggs = self._build_aggs(seg, order)
             return DimTree(dim, seg, order, None, aggs)
         m = seg.m
@@ -170,13 +179,42 @@ class RangeTree:
 
     def _build_aggs(self, seg: SegTree, order: np.ndarray) -> list[Any]:
         combine = self.semigroup.combine
+        values = self.values
         m = seg.m
         aggs: list[Any] = [None] * (2 * m)
         for k in range(m):
-            aggs[m + k] = self.values[order[k]]
+            aggs[m + k] = values[order[k]]
         for node in range(m - 1, 0, -1):
             aggs[node] = combine(aggs[2 * node], aggs[2 * node + 1])
         return aggs
+
+    def _annotate_kernel(self, column: KernelColumn) -> None:
+        """Annotate every last-dimension tree from a typed value column.
+
+        The range tree holds one last-dimension segment tree per node of
+        every earlier dimension — thousands of mostly tiny trees — so a
+        numpy fold *per tree* would drown in per-call overhead.  Trees
+        of equal leaf count fold together instead: their leaf rows stack
+        into one ``(trees, m, width)`` block and a single level-by-level
+        pairwise fold annotates the whole size class (the same child
+        pairs as the per-node loop in :meth:`_build_aggs`, hence
+        bit-identical values).  O(log classes × log m) array calls
+        replace O(nodes) Python ``combine`` calls.
+        """
+        kernel = column.kernel
+        groups: dict[int, list[DimTree]] = {}
+        for t in self.iter_dim_trees():
+            if t.dim == self.d - 1:
+                groups.setdefault(t.seg.m, []).append(t)
+        for m, trees in groups.items():
+            orders = (
+                trees[0].order.reshape(1, m)
+                if len(trees) == 1
+                else np.stack([t.order for t in trees])
+            )
+            heaps = _batched_heap_fold(kernel, column.data[orders])
+            for i, t in enumerate(trees):
+                t.aggs = KernelAggs(kernel, heaps[i], block=heaps, plane=i)
 
     def reannotate(self, values: Sequence[Any], semigroup: Semigroup) -> None:
         """Swap in a new aggregate function ``f`` without rebuilding topology.
@@ -187,8 +225,11 @@ class RangeTree:
         """
         self.values = values
         self.semigroup = semigroup
+        if isinstance(values, KernelColumn):
+            self._annotate_kernel(values)
+            return
         for t in self.iter_dim_trees():
-            if t.aggs is not None:
+            if t.dim == self.d - 1:
                 t.aggs = self._build_aggs(t.seg, t.order)
 
     # ------------------------------------------------------------------
@@ -232,6 +273,40 @@ class RangeTree:
         assert tree.descendants is not None
         for node in nodes:
             self._canonical_rec(tree.descendants[node], box, out, st)
+
+    def canonical_pairs(
+        self, box: RankBox, stats: WalkStats | None = None
+    ) -> list[tuple[DimTree, int]]:
+        """:meth:`canonical` as raw ``(tree, node)`` pairs — same walk,
+        same selection set, no per-selection wrapper objects.  The hot
+        batched consumers (the columnar forest phase) read the tree and
+        heap id directly; :class:`CanonicalSelection` remains the
+        per-record view."""
+        self._check_box(box)
+        st = stats if stats is not None else self.stats
+        if box.is_empty():
+            return []
+        out: list[tuple[DimTree, int]] = []
+        self._canonical_pairs_rec(self.root_tree, box, out, st)
+        st.nodes_selected += len(out)
+        return out
+
+    def _canonical_pairs_rec(
+        self,
+        tree: DimTree,
+        box: RankBox,
+        out: list[tuple[DimTree, int]],
+        st: WalkStats,
+    ) -> None:
+        a, b = box.interval(tree.dim)
+        nodes, visited = tree.seg.decompose_counted(a, b)
+        st.nodes_visited += visited
+        if tree.dim == self.d - 1:
+            out.extend((tree, node) for node in nodes)
+            return
+        assert tree.descendants is not None
+        for node in nodes:
+            self._canonical_pairs_rec(tree.descendants[node], box, out, st)
 
     def aggregate(self, box: RankBox, stats: WalkStats | None = None) -> Any:
         """Associative-function mode: fold ``f`` over the selection."""

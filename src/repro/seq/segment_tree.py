@@ -62,13 +62,17 @@ class SegTree:
 
     __slots__ = ("ranks", "m", "height", "_rank_list")
 
-    def __init__(self, sorted_ranks: np.ndarray) -> None:
+    def __init__(self, sorted_ranks: np.ndarray, validate: bool = True) -> None:
+        """``validate=False`` skips the strictly-increasing check — for
+        trusted internal callers only (the range tree sorts unique rank
+        columns, so its thousands of per-node subtrees cannot violate
+        it; re-checking each one is pure overhead)."""
         ranks = np.asarray(sorted_ranks, dtype=np.int64)
         if ranks.ndim != 1:
             raise GeometryError("SegTree needs a 1-d rank array")
         m = int(ranks.shape[0])
         self.height = ilog2(m)  # validates power of two
-        if m > 1 and not bool(np.all(ranks[1:] > ranks[:-1])):
+        if validate and m > 1 and not bool(np.all(ranks[1:] > ranks[:-1])):
             raise GeometryError("SegTree ranks must be strictly increasing")
         self.ranks = ranks
         self.m = m
