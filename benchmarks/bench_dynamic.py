@@ -1,0 +1,169 @@
+"""Dynamization benchmark: amortized update cost vs rebuild-from-scratch.
+
+The logarithmic method's claim (Bentley, the paper's reference [4], here
+lifted onto the distributed tree by :mod:`repro.dist.dynamic`): an
+insert costs O(log n) amortized bucket-rebuild work, against the naive
+dynamic alternative — rebuilding the whole static structure after every
+update.  This driver replays a seeded update/query stream
+(:func:`repro.workloads.update_query_stream`, the same generator the
+differential tests use) into a :class:`DynamicDistributedRangeTree`,
+times the update ops, then times one full static rebuild over the final
+live set.  ``update_speedup_vs_rebuild`` — rebuild wall-clock over
+amortized per-update wall-clock — is the headline: it must sit well
+above 1 and *grow* with n (the asymptotic gap), and it is dimensionless,
+so the CI regression gate can compare it across hosts.
+
+Each row also cross-checks correctness: the final checkpoint batch must
+produce identical answers from the dynamized structure and the rebuilt
+static tree.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_dynamic.py``)
+or under the bench harness; set ``BENCH_DYNAMIC_QUICK=1`` for the
+shrunken sweep (whose config the full sweep also includes, so CI quick
+rows always have committed baselines).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.bench.meta import bench_meta
+from repro.dist import DistributedRangeTree, DynamicDistributedRangeTree
+from repro.query import QueryBatch, aggregate, count, report
+from repro.semigroup.group import sum_group
+from repro.workloads import stream_counts, update_query_stream
+
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_dynamic.json"
+
+QUICK = bool(os.environ.get("BENCH_DYNAMIC_QUICK"))
+D = 2
+P = 4
+FLUSH_THRESHOLD = 64
+QUICK_N = 512
+NS = [QUICK_N] if QUICK else [QUICK_N, 4096, 16384]
+GROUP = sum_group(0)
+
+
+def _final_batch(boxes) -> QueryBatch:
+    cycle = [count, report, lambda b: aggregate(b)]
+    return QueryBatch([cycle[i % 3](b) for i, b in enumerate(boxes)])
+
+
+def _bench_one(n: int) -> dict:
+    # ~n update ops with sparse checkpoints (queries are benched elsewhere;
+    # here they only keep the stream shape honest and yield the final boxes)
+    ops = update_query_stream(
+        n,
+        D,
+        seed=13,
+        grid=1024,
+        query_every=max(64, n // 8),
+        queries_per_checkpoint=3,
+    )
+    shape = stream_counts(ops)
+    update_seconds = 0.0
+    updates = 0
+    last_boxes = None
+    with DynamicDistributedRangeTree(
+        D, p=P, semigroup=GROUP, flush_threshold=FLUSH_THRESHOLD
+    ) as dyn:
+        for op in ops:
+            if op.kind == "query":
+                last_boxes = op.boxes
+                continue
+            t0 = time.perf_counter()
+            if op.kind == "insert":
+                dyn.insert(op.coords, pid=op.pid)
+            else:
+                try:
+                    dyn.delete(op.pid)
+                except Exception:
+                    if not op.absent:
+                        raise
+            update_seconds += time.perf_counter() - t0
+            updates += 1
+
+        batch = _final_batch(last_boxes)
+        dyn_answers = dyn.run(batch).values()
+        live = dyn.live_points()
+        rebuilds = dyn.rebuild_points_total
+
+        t0 = time.perf_counter()
+        static = DistributedRangeTree.build(
+            live, machine=dyn.machine, semigroup=GROUP
+        )
+        rebuild_seconds = time.perf_counter() - t0
+        static_answers = static.run(batch).values()
+        static.close()
+
+    amortized = update_seconds / max(updates, 1)
+    return {
+        "n": n,
+        "m": updates,
+        "p": P,
+        "d": D,
+        "live_points": len(live),
+        "inserts": shape["inserts"],
+        "deletes": shape["deletes"],
+        "flush_threshold": FLUSH_THRESHOLD,
+        "update_seconds_total": round(update_seconds, 4),
+        "amortized_update_seconds": round(amortized, 8),
+        "full_rebuild_seconds": round(rebuild_seconds, 4),
+        "update_speedup_vs_rebuild": round(
+            rebuild_seconds / max(amortized, 1e-9), 1
+        ),
+        "rebuild_points_ratio": round(rebuilds / max(shape["inserts"], 1), 2),
+        "answers_match_rebuild": dyn_answers == static_answers,
+    }
+
+
+def run_bench() -> dict:
+    rows = [_bench_one(n) for n in NS]
+    speedups = [r["update_speedup_vs_rebuild"] for r in rows]
+    results = {
+        "meta": bench_meta(),
+        "config": {
+            "d": D,
+            "p": P,
+            "flush_threshold": FLUSH_THRESHOLD,
+            "n_values": NS,
+            "cpu_count": os.cpu_count(),
+            "quick": QUICK,
+        },
+        "results": rows,
+        "summary": {
+            "answers_match_rebuild": all(
+                r["answers_match_rebuild"] for r in rows
+            ),
+            "max_update_speedup_vs_rebuild": max(speedups),
+            # the asymptotic claim: the amortized-vs-rebuild gap widens
+            # with n (trivially true on a single-config quick sweep)
+            "speedup_grows_with_n": speedups == sorted(speedups),
+        },
+    }
+    OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def test_dynamic_bench(benchmark):
+    from conftest import run_once
+
+    results = run_once(benchmark, run_bench)
+    print(f"\nwrote {OUTPUT.name}: {json.dumps(results['summary'], indent=2)}")
+    assert results["summary"]["answers_match_rebuild"]
+    assert results["summary"]["max_update_speedup_vs_rebuild"] > 1
+
+
+if __name__ == "__main__":
+    results = run_bench()
+    for row in results["results"]:
+        print(
+            f"n={row['n']:>6} ({row['m']} updates): "
+            f"amortized {row['amortized_update_seconds']}s/update, "
+            f"rebuild {row['full_rebuild_seconds']}s "
+            f"(x{row['update_speedup_vs_rebuild']} vs rebuild-per-update)"
+        )
+    print(f"wrote {OUTPUT}")

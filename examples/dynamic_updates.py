@@ -7,8 +7,11 @@ open limitation, and a Section 1 footnote notes that aggregates with
 This example exercises both extension modules:
 
 * a ticket-sales stream — points (time, venue) arrive and expire — kept
-  queryable with :class:`repro.seq.DynamicRangeTree` (Bentley's
-  logarithmic method, the paper's own reference [4]);
+  queryable on the CGM machine with
+  :class:`repro.dist.DynamicDistributedRangeTree` (Bentley's logarithmic
+  method, the paper's own reference [4], lifted onto the distributed
+  tree: rank-resident update buffer + power-of-two bucket forests),
+  cross-checked against the sequential :class:`repro.seq.DynamicRangeTree`;
 * end-of-day revenue analytics over the same data with
   :class:`repro.seq.DominanceRangeIndex` (inclusion-exclusion over
   dominance sums, no tree at all), cross-checked against the range tree.
@@ -18,7 +21,8 @@ Run:  python examples/dynamic_updates.py
 
 import numpy as np
 
-from repro import Box, PointSet
+from repro import Box, DynamicDistributedRangeTree, PointSet
+from repro.query import count, report
 from repro.semigroup import sum_group
 from repro.seq import DominanceRangeIndex, DynamicRangeTree, SequentialRangeTree
 
@@ -27,8 +31,9 @@ def main() -> None:
     rng = np.random.default_rng(11)
 
     # --- live stream: inserts and deletes, queried continuously -----------
-    print("== live phase: DynamicRangeTree ==")
-    dyn = DynamicRangeTree(dim=2)
+    print("== live phase: DynamicDistributedRangeTree on 4 processors ==")
+    dyn = DynamicDistributedRangeTree(dim=2, p=4, flush_threshold=32)
+    oracle = DynamicRangeTree(dim=2)  # the sequential twin, as a cross-check
     active: dict[int, tuple[float, float]] = {}
     window = Box([(0.25, 0.75), (0.0, 0.5)])  # afternoon shows, venues 0-50%
 
@@ -36,21 +41,26 @@ def main() -> None:
         if rng.uniform() < 0.7 or not active:
             coords = (float(rng.uniform()), float(rng.uniform()))
             pid = dyn.insert(coords)
+            oracle.insert(coords, pid=pid)
             active[pid] = coords
         else:
             pid = int(rng.choice(list(active)))
             dyn.delete(pid)
+            oracle.delete(pid)
             del active[pid]
         if step % 150 == 0:
-            in_window = dyn.count(window)
+            rs = dyn.run([count(window), report(window, limit=5)])
+            in_window, first_ids = rs.values()
             truth = sum(
                 1 for c in active.values() if window.contains_point(c)
             )
             print(
                 f"  step {step:>3}: {len(dyn):>3} live sales, {in_window:>3} in window "
-                f"(oracle {truth}), buckets {dyn.bucket_sizes}"
+                f"(oracle {truth}), epochs {dyn.bucket_sizes}+{dyn.buffered_count} buffered, "
+                f"first ids {first_ids}"
             )
-            assert in_window == truth
+            assert in_window == truth == oracle.count(window)
+    dyn.close()
 
     # --- end-of-day batch: dominance counting with an invertible aggregate -
     print("\n== batch phase: DominanceRangeIndex (footnote pipeline) ==")

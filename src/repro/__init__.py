@@ -42,6 +42,7 @@ from .semigroup import (
 )
 from .seq import (
     BruteForceIndex,
+    DynamicRangeTree,
     KDTree,
     LayeredSequentialRangeTree,
     SequentialRangeTree,
@@ -50,7 +51,7 @@ from .seq import (
     bf_report,
 )
 from .cgm import CostModel, Machine
-from .dist import DistributedRangeTree
+from .dist import DistributedRangeTree, DynamicDistributedRangeTree
 from .query import (
     Query,
     QueryBatch,
@@ -96,6 +97,7 @@ __all__ = [
     "LayeredSequentialRangeTree",
     "KDTree",
     "BruteForceIndex",
+    "DynamicRangeTree",
     "bf_report",
     "bf_count",
     "bf_aggregate",
@@ -103,6 +105,7 @@ __all__ = [
     "Machine",
     "CostModel",
     "DistributedRangeTree",
+    "DynamicDistributedRangeTree",
     # the unified query layer
     "Query",
     "QueryBatch",

@@ -15,6 +15,13 @@ Three subcommands::
         through the repro.query planner (one search pass for all three);
         ``--json`` emits the structured ResultSet instead of text.
 
+    repro-range-search stream --n-ops 200 --d 2 --p 4 --backend serial
+        Replay a seeded update/query stream on the dynamized distributed
+        tree (epoch-buffered inserts/deletes, paper §6's open problem),
+        cross-checking every checkpoint against the sequential
+        DynamicRangeTree oracle; ``--json`` emits the stream shape, the
+        epoch layout, and the final checkpoint's ResultSet.
+
     repro-range-search demo
         The quickstart walkthrough.
 
@@ -74,6 +81,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the ResultSet as machine-readable JSON on stdout",
+    )
+
+    s = sub.add_parser(
+        "stream",
+        help="replay an update/query stream on the dynamized distributed tree",
+    )
+    s.add_argument("--n-ops", type=int, default=200, help="approximate stream length")
+    s.add_argument("--d", type=int, default=2, help="dimensions")
+    s.add_argument("--p", type=int, default=4, help="virtual processors (power of two)")
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument(
+        "--flush-threshold",
+        type=int,
+        default=32,
+        help="buffered updates absorbed into a bucket forest at this size",
+    )
+    s.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="serial",
+        help="execution backend",
+    )
+    s.add_argument(
+        "--json",
+        action="store_true",
+        help="emit stream shape, epoch layout, and the final checkpoint as JSON",
     )
 
     sub.add_parser("demo", help="run the quickstart walkthrough")
@@ -199,6 +232,75 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .dist import DynamicDistributedRangeTree
+    from .errors import ReproError
+    from .query import QueryBatch, count, report
+    from .seq import DynamicRangeTree
+    from .workloads import stream_counts, update_query_stream
+
+    ops = update_query_stream(args.n_ops, args.d, seed=args.seed)
+    diag = sys.stderr if args.json else sys.stdout
+    print(f"stream: {stream_counts(ops)}", file=diag)
+
+    mismatches = 0
+    last_rs = None
+    with DynamicDistributedRangeTree(
+        args.d,
+        p=args.p,
+        backend=args.backend,
+        flush_threshold=args.flush_threshold,
+    ) as dyn:
+        oracle = DynamicRangeTree(args.d)
+        for op in ops:
+            if op.kind == "insert":
+                dyn.insert(op.coords, pid=op.pid)
+                oracle.insert(op.coords, pid=op.pid)
+            elif op.kind == "delete":
+                for struct in (dyn, oracle):
+                    try:
+                        struct.delete(op.pid)
+                    except ReproError:
+                        if not op.absent:
+                            raise
+            else:
+                batch = QueryBatch(
+                    [count(b) for b in op.boxes]
+                    + [report(b, limit=5) for b in op.boxes[:1]]
+                )
+                last_rs = dyn.run(batch)
+                counts = last_rs.values()[: len(op.boxes)]
+                truth = [oracle.count(b) for b in op.boxes]
+                ok = counts == truth
+                mismatches += 0 if ok else 1
+                print(
+                    f"  checkpoint: counts {counts} "
+                    f"(oracle {'agrees' if ok else f'DISAGREES: {truth}'}), "
+                    f"epochs {dyn.bucket_sizes}+{dyn.buffered_count} buffered",
+                    file=diag,
+                )
+        layout = dyn.space_report()
+    if args.json:
+        print(
+            _json.dumps(
+                {
+                    "stream": stream_counts(ops),
+                    "space": layout,
+                    "oracle_agrees": mismatches == 0,
+                    "final_checkpoint": last_rs.to_dict() if last_rs else None,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(f"final layout: {layout}")
+        print(f"oracle verification: {'OK' if mismatches == 0 else 'FAILED'}")
+    return 0 if mismatches == 0 else 1
+
+
 def _cmd_demo(_args: argparse.Namespace) -> int:
     import runpy
     from pathlib import Path
@@ -224,6 +326,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_experiments(args)
     if args.command == "query":
         return _cmd_query(args)
+    if args.command == "stream":
+        return _cmd_stream(args)
     if args.command == "demo":
         return _cmd_demo(args)
     raise AssertionError("unreachable")

@@ -62,6 +62,7 @@ from .validate import ValidationReport, validate_tree
 
 __all__ = [
     "DistributedRangeTree",
+    "DynamicDistributedRangeTree",
     "ConstructResult",
     "construct_distributed_tree",
     "ForestElement",
@@ -572,3 +573,9 @@ class DistributedRangeTree:
             f"DistributedRangeTree(n={self.n}, d={self.dim}, p={self.p}, "
             f"semigroup={self.base_semigroup.name})"
         )
+
+
+# Imported last: repro.dist.dynamic wraps DistributedRangeTree, and living
+# under this package keeps its phases inside BOOTSTRAP_MODULES' closure so
+# spawn-started worker processes register them too.
+from .dynamic import DynamicDistributedRangeTree  # noqa: E402

@@ -34,6 +34,7 @@ from .descriptors import (
     top_k,
 )
 from .engine import QueryEngine, QueryPlan, plan_batch
+from .epochs import EpochCombiner
 from .modes import (
     AggregateMode,
     CountMode,
@@ -60,6 +61,7 @@ __all__ = [
     "QueryEngine",
     "QueryPlan",
     "plan_batch",
+    "EpochCombiner",
     "OutputMode",
     "QuerySpec",
     "register_mode",

@@ -60,6 +60,10 @@ class DynamicRangeTree:
             pid = self._next_auto_id
         if pid in self._ids:
             raise ReproError(f"point id {pid} already present")
+        if pid in self._tombstones:
+            # a dead copy of this id still sits in a bucket; a plain
+            # re-insert would be hidden by its own tombstone — purge first
+            self._compact()
         self._ids.add(pid)
         self._coords_by_id[pid] = tuple(float(c) for c in coords)
         self._next_auto_id = max(self._next_auto_id, pid + 1)
@@ -143,6 +147,34 @@ class DynamicRangeTree:
             if box.contains_point(coords):
                 dead = sg.combine(dead, sg.lift(pid, coords))
         return sg.subtract(total, dead)
+
+    def top_k(self, box: Box, k: int, dim: int = 0) -> list[int]:
+        """Ids of the ``k`` live matching points smallest in coordinate
+        ``dim`` (ties broken by id) — the dynamic twin of the distributed
+        tree's ``topk`` output mode, tombstone-filtered."""
+        if k < 1:
+            raise ReproError(f"top_k needs k >= 1, got {k}")
+        if not 0 <= dim < self.dim:
+            raise ReproError(f"top_k dim {dim} out of range for {self.dim}-d tree")
+        from ..semigroup.builtin import top_k_ids
+
+        sg = top_k_ids(k, dim)
+        best = sg.fold(
+            sg.lift(pid, self._coords_by_id[pid]) for pid in self.report(box)
+        )
+        return [pid for _coord, pid in best]
+
+    def sample(self, box: Box, k: int, seed: int = 0) -> list[int]:
+        """``k`` live matching ids, deterministically sampled (seeded) —
+        the dynamic twin of the ``sample`` output mode."""
+        if k < 1:
+            raise ReproError(f"sample needs k >= 1, got {k}")
+        ids = self.report(box)
+        if len(ids) <= k:
+            return ids
+        import random
+
+        return sorted(random.Random(seed).sample(ids, k))
 
     # ------------------------------------------------------------------
     # introspection

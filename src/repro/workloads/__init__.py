@@ -8,6 +8,7 @@ from .points import (
     make_points,
     uniform_points,
 )
+from .streams import StreamOp, stream_counts, update_query_stream
 from .queries import (
     QUERY_WORKLOADS,
     hotspot_queries,
@@ -30,4 +31,7 @@ __all__ = [
     "hotspot_queries",
     "point_centred_queries",
     "make_queries",
+    "StreamOp",
+    "update_query_stream",
+    "stream_counts",
 ]

@@ -1,10 +1,20 @@
-"""Shared test helpers (query generators)."""
+"""Shared test helpers (query generators + the dynamic stream harness)."""
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ReproError
 from repro.geometry import Box
+from repro.query import (
+    QueryBatch,
+    aggregate,
+    count,
+    report,
+    sample_report,
+    top_k,
+)
+from repro.semigroup.group import sum_group
 
 
 def random_boxes(rng: np.random.Generator, m: int, d: int, max_side: float = 0.5) -> list[Box]:
@@ -28,3 +38,141 @@ def grid_of_boxes(d: int, per_dim: int = 3) -> list[Box]:
             bounds[j] = (float(cuts[k]), float(cuts[k + 1]))
             boxes.append(Box(bounds))
     return boxes
+
+
+# ---------------------------------------------------------------------------
+# stateful stream harness for the dynamization differential suite
+# ---------------------------------------------------------------------------
+#: the aggregate every stream checkpoint folds — an AbelianGroup, so it
+#: stays legal under deletions; stream coordinates are dyadic rationals,
+#: so its float sums are exact and order-independent (honest bit-identity)
+STREAM_GROUP = sum_group(0)
+
+_MODE_CYCLE = (
+    lambda b, i: count(b),
+    lambda b, i: report(b, limit=6),
+    lambda b, i: aggregate(b),
+    lambda b, i: top_k(b, 3),
+    lambda b, i: sample_report(b, 4, seed=i),
+)
+
+
+def checkpoint_batch(boxes, offset: int = 0) -> QueryBatch:
+    """A mixed-mode batch over ``boxes``, cycling all five output modes.
+
+    ``offset`` rotates the cycle so successive checkpoints exercise every
+    mode even with few boxes per checkpoint.
+    """
+    return QueryBatch(
+        [
+            _MODE_CYCLE[(i + offset) % len(_MODE_CYCLE)](b, offset)
+            for i, b in enumerate(boxes)
+        ]
+    )
+
+
+def oracle_values(oracle, batch: QueryBatch) -> list:
+    """Answer ``batch`` with the sequential DynamicRangeTree oracle."""
+    out = []
+    for q in batch:
+        if q.mode == "count":
+            out.append(oracle.count(q.box))
+        elif q.mode == "report":
+            ids = oracle.report(q.box)
+            limit = q.option("limit")
+            out.append(ids if limit is None else ids[:limit])
+        elif q.mode == "aggregate":
+            out.append(oracle.aggregate(q.box))
+        elif q.mode == "topk":
+            out.append(oracle.top_k(q.box, q.option("k"), q.option("dim", 0)))
+        elif q.mode == "sample":
+            out.append(oracle.sample(q.box, q.option("k"), q.option("seed", 0)))
+        else:  # pragma: no cover - stream batches only use the five modes
+            raise AssertionError(f"oracle cannot answer mode {q.mode!r}")
+    return out
+
+
+def empty_structure_values(batch: QueryBatch, base) -> list:
+    """The expected answers of any structure holding zero live points."""
+    out = []
+    for q in batch:
+        if q.mode == "count":
+            out.append(0)
+        elif q.mode == "aggregate":
+            out.append((q.semigroup or base).identity)
+        else:
+            out.append([])
+    return out
+
+
+def rebuild_queries_dict(dyn, batch: QueryBatch) -> list:
+    """``to_dict()["queries"]`` of a static tree rebuilt from scratch.
+
+    Builds a fresh DistributedRangeTree over ``dyn.live_points()`` on the
+    *same* machine and answers the same batch — the ground truth the
+    logarithmic method must match bit for bit.
+    """
+    from repro.dist import DistributedRangeTree
+
+    pts = dyn.live_points()
+    if pts is None:
+        values = empty_structure_values(batch, dyn.semigroup)
+        return [
+            {
+                "qid": qid,
+                "mode": q.mode,
+                "box": [
+                    [float(lo), float(hi)]
+                    for lo, hi in zip(q.box.lo, q.box.hi)
+                ],
+                "value": v,
+            }
+            for qid, (q, v) in enumerate(zip(batch, values))
+        ]
+    with DistributedRangeTree.build(
+        pts, machine=dyn.machine, semigroup=dyn.semigroup
+    ) as static:
+        return static.run(batch).to_dict()["queries"]
+
+
+def drive_stream(ops, dyn, oracle, rebuild_every: int | None = None) -> int:
+    """Replay a stream against the dynamic tree and the seq oracle.
+
+    At every query checkpoint the dynamic structure's ``to_dict()``
+    answers must equal the oracle's; every ``rebuild_every``-th
+    checkpoint they must also equal a rebuild-from-scratch static tree's.
+    Returns the number of checkpoints verified.
+    """
+    checkpoints = 0
+    for op in ops:
+        if op.kind == "insert":
+            dyn.insert(op.coords, pid=op.pid)
+            oracle.insert(op.coords, pid=op.pid)
+        elif op.kind == "delete":
+            if op.absent:
+                for struct in (dyn, oracle):
+                    try:
+                        struct.delete(op.pid)
+                    except ReproError:
+                        continue
+                    raise AssertionError(
+                        f"delete of absent id {op.pid} was accepted"
+                    )
+            else:
+                dyn.delete(op.pid)
+                oracle.delete(op.pid)
+        else:
+            batch = checkpoint_batch(op.boxes, offset=checkpoints)
+            got = dyn.run(batch).to_dict()["queries"]
+            want = oracle_values(oracle, batch)
+            assert [g["value"] for g in got] == want, (
+                f"checkpoint {checkpoints}: dynamic tree diverges from the "
+                f"sequential oracle"
+            )
+            if rebuild_every and checkpoints % rebuild_every == 0:
+                assert got == rebuild_queries_dict(dyn, batch), (
+                    f"checkpoint {checkpoints}: dynamic tree diverges from "
+                    f"rebuild-from-scratch"
+                )
+            checkpoints += 1
+    return checkpoints

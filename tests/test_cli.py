@@ -25,6 +25,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["query", "--mode", "explode"])
 
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.n_ops == 200 and args.d == 2 and args.flush_threshold == 32
+
+    def test_stream_bad_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--backend", "quantum"])
+
 
 class TestExperimentsCommand:
     def test_list(self, capsys):
@@ -131,6 +139,35 @@ class TestQueryCommand:
         payload = json.loads(capsys.readouterr().out)
         assert all(q["mode"] == "count" for q in payload["queries"])
         assert all(isinstance(q["value"], int) for q in payload["queries"])
+
+    def test_stream_oracle_agrees(self, capsys):
+        rc = main(["stream", "--n-ops", "60", "--p", "4", "--seed", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "oracle verification: OK" in out
+        assert "DISAGREES" not in out
+
+    def test_stream_d3_thread_backend(self, capsys):
+        rc = main(
+            ["stream", "--n-ops", "50", "--d", "3", "--p", "2",
+             "--backend", "thread", "--flush-threshold", "8"]
+        )
+        assert rc == 0
+        assert "oracle verification: OK" in capsys.readouterr().out
+
+    def test_stream_json_contract(self, capsys):
+        """--json: stdout is one JSON document, diagnostics on stderr."""
+        import json
+
+        rc = main(["stream", "--n-ops", "40", "--p", "2", "--json"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # must not raise
+        assert payload["oracle_agrees"] is True
+        assert payload["stream"]["ops"] >= 40
+        assert payload["space"]["d"] == 2
+        assert payload["final_checkpoint"]["queries"]
+        assert "checkpoint" in captured.err
 
     def test_json_stays_parseable_with_diagnostic_flags(self, capsys):
         """--json + --verify/--validate/--trace: stdout is pure JSON,

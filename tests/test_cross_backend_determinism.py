@@ -16,12 +16,13 @@ import json
 import numpy as np
 import pytest
 
-from repro.dist import DistributedRangeTree
+from repro.dist import DistributedRangeTree, DynamicDistributedRangeTree
+from repro.errors import ReproError
 from repro.query import QueryBatch, aggregate, count, report
-from repro.semigroup import sum_of_dim
-from repro.workloads import make_points
+from repro.semigroup import sum_of_dim, valueplane
+from repro.workloads import make_points, update_query_stream
 
-from tests.helpers import random_boxes
+from tests.helpers import STREAM_GROUP, checkpoint_batch, random_boxes
 
 BACKENDS = ("serial", "thread", "process")
 
@@ -78,3 +79,68 @@ class TestCrossBackendDeterminism:
         a = _fingerprint("process", 2, "uniform")
         b = _fingerprint("process", 2, "uniform")
         assert a == b
+
+
+def _dynamic_fingerprint(backend: str, d: int = 2) -> tuple:
+    """Replay one fixed update/query stream; fingerprint every checkpoint.
+
+    The dynamization contract extends decision 6: for the same stream the
+    epoch sweep must charge, route, and answer identically on every
+    backend — every checkpoint's ``to_dict`` (minus wall-clock), the full
+    superstep trace across all bucket builds, and the final epoch layout.
+    """
+    ops = update_query_stream(45, d, seed=4000 + d)
+    payloads = []
+    with DynamicDistributedRangeTree(
+        d, p=4, backend=backend, semigroup=STREAM_GROUP, flush_threshold=8
+    ) as dyn:
+        checkpoints = 0
+        for op in ops:
+            if op.kind == "insert":
+                dyn.insert(op.coords, pid=op.pid)
+            elif op.kind == "delete":
+                try:
+                    dyn.delete(op.pid)
+                except ReproError:
+                    assert op.absent
+            else:
+                rs = dyn.run(checkpoint_batch(op.boxes, offset=checkpoints))
+                payload = rs.to_dict()
+                assert payload.pop("wall_seconds") >= 0
+                payloads.append(payload)
+                checkpoints += 1
+        trace = tuple(
+            (s.kind, s.label, s.ops, s.sent, s.received)
+            for s in dyn.metrics.steps
+        )
+        layout = (tuple(dyn.bucket_sizes), dyn.buffered_count)
+    return json.dumps(payloads, sort_keys=True), trace, layout
+
+
+class TestDynamicEpochDeterminism:
+    """Same stream -> bit-identical epochs across backends and planes."""
+
+    def test_dynamic_stream_bit_identical_across_backends(self):
+        base = _dynamic_fingerprint("serial")
+        for backend in BACKENDS[1:]:
+            other = _dynamic_fingerprint(backend)
+            assert other[0] == base[0], f"{backend} checkpoint dicts diverge"
+            assert other[1] == base[1], f"{backend} superstep trace diverges"
+            assert other[2] == base[2], f"{backend} epoch layout diverges"
+
+    def test_dynamic_answers_identical_across_valueplanes(self):
+        """Kernel and object value planes agree on every checkpoint answer.
+
+        Only the answers are compared — the planes legitimately move
+        different byte counts, so the traces may differ.
+        """
+        by_plane = {}
+        for vplane in ("kernel", "object"):
+            with valueplane(vplane):
+                payloads, _trace, layout = _dynamic_fingerprint("serial", d=1)
+            answers = [
+                [q["value"] for q in checkpoint["queries"]]
+                for checkpoint in json.loads(payloads)
+            ]
+            by_plane[vplane] = (answers, layout)
+        assert by_plane["kernel"] == by_plane["object"]

@@ -1,0 +1,356 @@
+"""Differential suite for the dynamized distributed tree (paper §6).
+
+Three layers:
+
+* unit tests for the update/query/lifecycle mechanics of
+  :class:`repro.dist.dynamic.DynamicDistributedRangeTree`;
+* quick differential tests: seeded update/query streams replayed against
+  the sequential :class:`~repro.seq.DynamicRangeTree` oracle *and*
+  rebuild-from-scratch static trees (``tests.helpers.drive_stream``);
+* the heavy ``@pytest.mark.stream`` matrix — longer streams across
+  d=1..3, all three backends, and both data/value planes — excluded from
+  the tier-1 run (``-m "not stream"`` in addopts) and run by its own CI
+  job.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cgm import Machine
+from repro.cgm.columns import dataplane
+from repro.dist import DistributedRangeTree, DynamicDistributedRangeTree
+from repro.errors import DimensionMismatch, GeometryError, ReproError
+from repro.geometry import Box
+from repro.query import (
+    QueryBatch,
+    aggregate,
+    count,
+    report,
+    sample_report,
+    top_k,
+)
+from repro.semigroup import max_of_dim, sum_of_dim, valueplane
+from repro.semigroup.group import sum_group
+from repro.seq import DynamicRangeTree
+from repro.workloads import stream_counts, update_query_stream
+
+from tests.helpers import (
+    STREAM_GROUP,
+    checkpoint_batch,
+    drive_stream,
+    empty_structure_values,
+    oracle_values,
+)
+
+BACKENDS = ("serial", "thread", "process")
+PLANES = (("columnar", "kernel"), ("object", "object"))
+
+
+def dyadic(i: int, grid: int = 16) -> float:
+    return i / grid
+
+
+def unit_box(d: int) -> Box:
+    return Box([(0.0, 1.0)] * d)
+
+
+class TestUpdates:
+    def test_buffered_inserts_visible_immediately(self):
+        with DynamicDistributedRangeTree(2, p=4, flush_threshold=100) as dt:
+            dt.insert((0.25, 0.25), pid=7)
+            assert dt.buffered_count == 1
+            assert dt.bucket_sizes == []
+            rs = dt.run([count(unit_box(2)), report(unit_box(2))])
+            assert rs.values() == [1, [7]]
+
+    def test_flush_threshold_absorbs_buffer(self):
+        with DynamicDistributedRangeTree(1, p=4, flush_threshold=4) as dt:
+            for i in range(4):
+                dt.insert((dyadic(i),))
+            assert dt.buffered_count == 0
+            assert dt.bucket_sizes == [4]
+
+    def test_bucket_sizes_are_distinct_powers_of_two(self):
+        with DynamicDistributedRangeTree(1, p=4, flush_threshold=1) as dt:
+            for i in range(13):
+                dt.insert((float(i) / 16,))
+            assert dt.bucket_sizes == [1, 4, 8]  # 13 = 0b1101
+            assert len(dt) == 13
+
+    def test_amortised_rebuild_cost(self):
+        import math
+
+        n = 128
+        with DynamicDistributedRangeTree(1, p=4, flush_threshold=1) as dt:
+            for i in range(n):
+                dt.insert((dyadic(i % 16),))
+            assert dt.rebuild_points_total <= n * (int(math.log2(n)) + 1)
+
+    def test_duplicate_id_rejected(self):
+        with DynamicDistributedRangeTree(1, p=4) as dt:
+            dt.insert((0.5,), pid=5)
+            with pytest.raises(ReproError, match="already present"):
+                dt.insert((0.25,), pid=5)
+
+    def test_wrong_dim_rejected(self):
+        with DynamicDistributedRangeTree(2, p=4) as dt:
+            with pytest.raises(GeometryError):
+                dt.insert((0.5,))
+
+    def test_delete_unknown_and_double_delete_rejected(self):
+        with DynamicDistributedRangeTree(1, p=4) as dt:
+            with pytest.raises(ReproError, match="not present"):
+                dt.delete(42)
+            pid = dt.insert((0.5,))
+            dt.delete(pid)
+            with pytest.raises(ReproError, match="not present"):
+                dt.delete(pid)
+
+    def test_delete_of_buffered_point_is_physical(self):
+        with DynamicDistributedRangeTree(1, p=4, flush_threshold=100) as dt:
+            a = dt.insert((0.25,))
+            b = dt.insert((0.5,))
+            dt.delete(a)
+            assert dt.space_report()["tombstones"] == 0
+            assert dt.buffered_count == 1
+            assert dt.run(report(unit_box(1))).value(0) == [b]
+
+    def test_delete_of_bucketed_point_tombstones(self):
+        with DynamicDistributedRangeTree(1, p=4, flush_threshold=1) as dt:
+            ids = [dt.insert((dyadic(i),)) for i in range(8)]
+            dt.delete(ids[0])
+            assert dt.space_report()["tombstones"] == 1
+            assert dt.run(count(unit_box(1))).value(0) == 7
+            assert dt.run(report(unit_box(1))).value(0) == ids[1:]
+
+    def test_compaction_triggers_at_half_dead(self):
+        with DynamicDistributedRangeTree(1, p=4, flush_threshold=1) as dt:
+            ids = [dt.insert((dyadic(i),)) for i in range(16)]
+            for pid in ids[:8]:
+                dt.delete(pid)
+            assert sum(dt.bucket_sizes) == 8
+            assert dt.space_report()["tombstones"] == 0
+            assert dt.run(report(unit_box(1))).value(0) == ids[8:]
+
+    def test_reinsert_of_tombstoned_id_purges_dead_copy(self):
+        # regression shape: a tombstoned id re-inserted while its dead
+        # copy still sits in a bucket must not be hidden by the filter
+        with DynamicDistributedRangeTree(1, p=4, flush_threshold=1) as dt:
+            ids = [dt.insert((dyadic(i),)) for i in range(8)]
+            dt.delete(ids[0])  # 1/8 dead: no compaction yet
+            assert dt.space_report()["tombstones"] == 1
+            dt.insert((dyadic(9),), pid=ids[0])
+            assert dt.run(report(unit_box(1))).value(0) == sorted(ids)
+            assert dt.run(count(unit_box(1))).value(0) == 8
+
+    def test_group_aggregate_subtracts_deleted(self):
+        g = sum_group(0)
+        with DynamicDistributedRangeTree(
+            1, p=4, semigroup=g, flush_threshold=1
+        ) as dt:
+            ids = [dt.insert((float(x),)) for x in (1, 2, 4, 8, 16)]
+            dt.delete(ids[1])
+            got = dt.run(aggregate(Box([(0.0, 10.0)]))).value(0)
+            assert got == 1 + 4 + 8
+
+    def test_aggregate_with_deletes_needs_group(self):
+        with DynamicDistributedRangeTree(
+            1, p=4, semigroup=max_of_dim(0), flush_threshold=1
+        ) as dt:
+            pid = dt.insert((0.25,))
+            for x in (0.5, 0.75, 0.875):
+                dt.insert((x,))
+            dt.delete(pid)
+            with pytest.raises(ReproError, match="AbelianGroup"):
+                dt.run(aggregate(unit_box(1)))
+
+    def test_empty_structure_answers_every_mode(self):
+        with DynamicDistributedRangeTree(2, p=4) as dt:
+            batch = QueryBatch(
+                [
+                    count(unit_box(2)),
+                    report(unit_box(2)),
+                    aggregate(unit_box(2)),
+                    top_k(unit_box(2), 3),
+                    sample_report(unit_box(2), 2),
+                ]
+            )
+            got = dt.run(batch).values()
+            assert got == empty_structure_values(batch, dt.semigroup)
+
+    def test_query_dim_mismatch_rejected(self):
+        with DynamicDistributedRangeTree(2, p=4) as dt:
+            with pytest.raises(DimensionMismatch):
+                dt.run(count(unit_box(3)))
+
+    def test_invalid_mode_options_rejected_without_buckets(self):
+        with DynamicDistributedRangeTree(2, p=4) as dt:
+            with pytest.raises(ReproError, match="topk"):
+                dt.run(top_k(unit_box(2), 0))
+
+    def test_per_query_semigroup_and_reannotate(self):
+        with DynamicDistributedRangeTree(2, p=4, flush_threshold=2) as dt:
+            for i in range(6):
+                dt.insert((dyadic(i), dyadic(2 * i % 16)))
+            want_y = sum(dyadic(2 * i % 16) for i in range(6))
+            got = dt.run(aggregate(unit_box(2), sum_of_dim(1))).value(0)
+            assert got == pytest.approx(want_y)
+            dt.reannotate(sum_of_dim(0))
+            got = dt.run(aggregate(unit_box(2))).value(0)
+            assert got == pytest.approx(sum(dyadic(i) for i in range(6)))
+
+    def test_report_limit_applies_after_epoch_merge(self):
+        # two epochs (bucket + buffer); the limit must truncate the
+        # *merged* sorted ids, not each epoch's
+        with DynamicDistributedRangeTree(1, p=4, flush_threshold=4) as dt:
+            for i in range(4):
+                dt.insert((dyadic(8 + i),), pid=100 + i)  # bucketed, high x
+            for i in range(2):
+                dt.insert((dyadic(i),), pid=i)  # buffered, low ids
+            got = dt.run(report(unit_box(1), limit=3)).value(0)
+            assert got == [0, 1, 100]
+
+    def test_topk_across_epochs(self):
+        with DynamicDistributedRangeTree(1, p=4, flush_threshold=4) as dt:
+            for i in range(4):
+                dt.insert((dyadic(8 + i),), pid=100 + i)  # bucketed
+            dt.insert((dyadic(1),), pid=0)  # buffered, smallest x
+            got = dt.run(top_k(unit_box(1), 2)).value(0)
+            assert got == [0, 100]
+
+    def test_bulk_load_matches_incremental(self):
+        coords = [(dyadic(i), dyadic(3 * i % 16)) for i in range(10)]
+        batch = checkpoint_batch(
+            [unit_box(2), Box([(0.0, 0.5), (0.0, 1.0)])]
+        )
+        with DynamicDistributedRangeTree.build(
+            coords, p=4, semigroup=STREAM_GROUP
+        ) as bulk:
+            assert bulk.bucket_sizes == [10]
+            want = bulk.run(batch).values()
+        with DynamicDistributedRangeTree(
+            2, p=4, semigroup=STREAM_GROUP, flush_threshold=4
+        ) as inc:
+            inc.insert_many(coords)
+            assert inc.run(batch).values() == want
+
+    def test_build_empty_needs_dim(self):
+        with pytest.raises(GeometryError):
+            DynamicDistributedRangeTree.build()
+        with DynamicDistributedRangeTree.build(dim=2, p=4) as dt:
+            assert len(dt) == 0
+
+    def test_closed_structure_rejects_use(self):
+        dt = DynamicDistributedRangeTree(1, p=4)
+        dt.insert((0.5,))
+        dt.close()
+        with pytest.raises(ReproError, match="closed"):
+            dt.insert((0.25,))
+        with pytest.raises(ReproError, match="closed"):
+            dt.run(count(unit_box(1)))
+
+    def test_shared_machine_two_structures(self):
+        with Machine(4) as mach:
+            a = DynamicDistributedRangeTree(1, machine=mach, flush_threshold=2)
+            b = DynamicDistributedRangeTree(1, machine=mach, flush_threshold=2)
+            for i in range(4):
+                a.insert((dyadic(i),))
+                b.insert((dyadic(15 - i),))
+            assert a.run(report(unit_box(1))).value(0) == [0, 1, 2, 3]
+            assert b.run(report(unit_box(1))).value(0) == [0, 1, 2, 3]
+            a.close()
+            assert b.run(count(unit_box(1))).value(0) == 4
+            b.close()
+
+    def test_live_points_sorted_by_id(self):
+        with DynamicDistributedRangeTree(1, p=4, flush_threshold=2) as dt:
+            dt.insert((0.5,), pid=9)
+            dt.insert((0.25,), pid=3)
+            dt.insert((0.75,), pid=6)
+            dt.delete(9)
+            pts = dt.live_points()
+            assert list(pts.ids) == [3, 6]
+            assert dt.live_points().coords[0][0] == 0.25
+
+
+class TestDifferentialQuick:
+    """Short streams, serial backend — runs in the tier-1 suite."""
+
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_stream_matches_oracle_and_rebuild(self, d):
+        ops = update_query_stream(70, d, seed=10 + d)
+        with DynamicDistributedRangeTree(
+            d, p=4, semigroup=STREAM_GROUP, flush_threshold=8
+        ) as dyn:
+            oracle = DynamicRangeTree(d, semigroup=STREAM_GROUP)
+            checkpoints = drive_stream(ops, dyn, oracle, rebuild_every=3)
+        assert checkpoints >= 3
+
+    @pytest.mark.parametrize("plane,vplane", PLANES)
+    def test_stream_parity_on_both_planes(self, plane, vplane):
+        ops = update_query_stream(50, 2, seed=77)
+        with dataplane(plane), valueplane(vplane):
+            with DynamicDistributedRangeTree(
+                2, p=4, semigroup=STREAM_GROUP, flush_threshold=8
+            ) as dyn:
+                oracle = DynamicRangeTree(2, semigroup=STREAM_GROUP)
+                assert drive_stream(ops, dyn, oracle, rebuild_every=2) >= 2
+
+    def test_stream_generator_has_the_advertised_shapes(self):
+        ops = update_query_stream(80, 2, seed=5)
+        shape = stream_counts(ops)
+        assert shape["inserts"] > 0
+        assert shape["deletes"] > 0
+        assert shape["absent_deletes"] > 0
+        assert shape["checkpoints"] >= 2
+        assert ops[0].kind == "query"  # empty-structure checkpoint
+        assert ops[-1].kind == "query"
+        # duplicate coordinates occur
+        coords = [op.coords for op in ops if op.kind == "insert"]
+        assert len(set(coords)) < len(coords)
+        # determinism: the same seed reproduces the stream exactly
+        assert update_query_stream(80, 2, seed=5) == ops
+
+
+@pytest.mark.stream
+class TestDifferentialStream:
+    """The heavy matrix: longer streams, d=1..3, all backends, both planes."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_stream_matches_oracle_and_rebuild(self, backend, d):
+        ops = update_query_stream(140, d, seed=100 + d)
+        with DynamicDistributedRangeTree(
+            d,
+            p=4,
+            backend=backend,
+            semigroup=STREAM_GROUP,
+            flush_threshold=8,
+        ) as dyn:
+            oracle = DynamicRangeTree(d, semigroup=STREAM_GROUP)
+            assert drive_stream(ops, dyn, oracle, rebuild_every=4) >= 5
+
+    @pytest.mark.parametrize("plane,vplane", PLANES)
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_stream_planes_matrix(self, d, plane, vplane):
+        ops = update_query_stream(120, d, seed=200 + d)
+        with dataplane(plane), valueplane(vplane):
+            with DynamicDistributedRangeTree(
+                d, p=4, semigroup=STREAM_GROUP, flush_threshold=8
+            ) as dyn:
+                oracle = DynamicRangeTree(d, semigroup=STREAM_GROUP)
+                assert drive_stream(ops, dyn, oracle, rebuild_every=4) >= 4
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_more_seeds_process_backend(self, seed):
+        ops = update_query_stream(90, 2, seed=300 + seed)
+        with DynamicDistributedRangeTree(
+            2,
+            p=4,
+            backend="process",
+            semigroup=STREAM_GROUP,
+            flush_threshold=8,
+        ) as dyn:
+            oracle = DynamicRangeTree(2, semigroup=STREAM_GROUP)
+            assert drive_stream(ops, dyn, oracle, rebuild_every=5) >= 3

@@ -133,6 +133,87 @@ class TestAggregates:
         assert got == pytest.approx(1 + 4 + 8)
 
 
+class TestTombstoneFilteredModes:
+    """topk/sample must filter tombstones exactly like report does."""
+
+    def _populated(self):
+        dt = DynamicRangeTree(1)
+        ids = [dt.insert((i / 16,)) for i in range(10)]
+        return dt, ids
+
+    def test_top_k_filters_tombstones(self):
+        dt, ids = self._populated()
+        box = Box([(0.0, 1.0)])
+        assert dt.top_k(box, 3) == ids[:3]
+        dt.delete(ids[0])
+        dt.delete(ids[2])
+        assert dt.top_k(box, 3) == [ids[1], ids[3], ids[4]]
+
+    def test_sample_filters_tombstones(self):
+        dt, ids = self._populated()
+        box = Box([(0.0, 1.0)])
+        dt.delete(ids[1])
+        got = dt.sample(box, 4, seed=3)
+        assert len(got) == 4
+        assert ids[1] not in got
+        assert set(got) <= set(dt.report(box))
+        # deterministic given the seed
+        assert dt.sample(box, 4, seed=3) == got
+        # k >= live matches returns everything, sorted
+        assert dt.sample(box, 100) == dt.report(box)
+
+    def test_top_k_and_sample_validate_arguments(self):
+        dt, _ids = self._populated()
+        box = Box([(0.0, 1.0)])
+        with pytest.raises(ReproError):
+            dt.top_k(box, 0)
+        with pytest.raises(ReproError):
+            dt.top_k(box, 2, dim=1)
+        with pytest.raises(ReproError):
+            dt.sample(box, 0)
+
+
+class TestDeleteEdgeCases:
+    def test_group_delete_of_last_point_in_a_bucket(self):
+        """Deleting a bucket's only point must zero its contribution."""
+        g = sum_group(0)
+        dt = DynamicRangeTree(1, semigroup=g)
+        ids = [dt.insert((float(x),)) for x in (1, 2, 4)]  # buckets [1, 2]
+        assert dt.bucket_sizes == [1, 2]
+        solo = ids[2]  # the size-1 bucket holds the latest insert
+        dt.delete(solo)
+        box = Box([(0.0, 10.0)])
+        assert dt.aggregate(box) == pytest.approx(1 + 2)
+        assert dt.count(box) == 2
+        # delete the rest: the structure empties completely
+        for pid in ids[:2]:
+            dt.delete(pid)
+        assert dt.aggregate(box) == g.identity
+        assert dt.count(box) == 0
+        assert len(dt) == 0
+
+    def test_interleaved_delete_then_reinsert_same_coordinates(self):
+        """A tombstoned id re-inserted at its old coordinates stays live.
+
+        Regression shape: the dead copy of the id may still sit in a
+        bucket while the compaction threshold is not reached; the
+        id-keyed tombstone filter must not swallow the live re-insert.
+        """
+        dt = DynamicRangeTree(1)
+        ids = [dt.insert((i / 16,)) for i in range(8)]
+        box = Box([(0.0, 1.0)])
+        dt.delete(ids[0])
+        assert len(dt._tombstones) == 1  # no compaction at 1/8 dead
+        dt.insert((0.0,), pid=ids[0])  # same id, same coordinates
+        assert dt.report(box) == ids
+        assert dt.count(box) == 8
+        # and again with an intervening unrelated delete
+        dt.delete(ids[3])
+        dt.delete(ids[0])
+        dt.insert((0.0,), pid=ids[0])
+        assert dt.report(box) == sorted(set(ids) - {ids[3]})
+
+
 class TestRandomisedAgainstOracle:
     def test_mixed_workload(self):
         rng = random.Random(42)
