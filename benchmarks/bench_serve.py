@@ -1,0 +1,138 @@
+"""Serving benchmark: adaptive micro-batching vs one-query-at-a-time.
+
+The paper's cost model (Theorems 3-5) prices a *batch* of m queries at
+one Search pass with O(1) communication rounds — so a serving front-end
+that coalesces concurrent clients into batches should beat the same
+clients served one query per pass.  This driver measures exactly that
+gap with :mod:`repro.serve.loadgen`: a closed-loop client population
+against one tree, swept across flush policies —
+
+* ``max_batch=1`` — the **unbatched baseline**: every query is its own
+  batch, pipelining is the only help it gets;
+* two adaptive coalescing windows (a tight low-latency window and a
+  wide throughput window) over the in-process transport;
+* one TCP row, pricing the NDJSON wire on top of the tight window.
+
+``qps_speedup_vs_unbatched`` is the headline and is dimensionless, so
+the CI regression gate can compare it across hosts.  Every in-process
+row also asserts bit-identical answers against direct ``tree.run``
+execution (``answers_match_direct``) — the serve layer is a front-end,
+not a different algorithm.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_serve.py``) or
+under the bench harness; set ``BENCH_SERVE_QUICK=1`` for the shrunken
+sweep (whose configs the full sweep also includes, so CI quick rows
+always have committed baselines).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.bench.meta import bench_meta
+from repro.dist import DistributedRangeTree
+from repro.serve import make_serve_queries, run_loadgen
+from repro.workloads import make_points
+
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+
+QUICK = bool(os.environ.get("BENCH_SERVE_QUICK"))
+D = 2
+P = 4
+CLIENTS = 8
+N = 512 if QUICK else 4096
+M = 64 if QUICK else 512
+SEED = 7
+
+#: (label, max_wait_ms, max_batch, transport) — the policy sweep; the
+#: max_batch=1 row is the unbatched baseline every speedup divides by.
+CONFIGS = [
+    ("unbatched", 0.0, 1, "inproc"),
+    ("window-2ms", 2.0, 256, "inproc"),
+    ("window-10ms", 10.0, 1024, "inproc"),
+    ("window-2ms-tcp", 2.0, 256, "tcp"),
+]
+
+
+def run_bench() -> dict:
+    points = make_points("uniform", N, D, seed=SEED)
+    queries = make_serve_queries(M, D, seed=SEED + 1)
+    rows = []
+    with DistributedRangeTree.build(points, p=P) as tree:
+        for label, max_wait_ms, max_batch, transport in CONFIGS:
+            row = run_loadgen(
+                tree,
+                queries,
+                seed=SEED,
+                clients=CLIENTS,
+                arrival="closed",
+                max_wait_ms=max_wait_ms,
+                max_batch=max_batch,
+                transport=transport,
+            )
+            row["label"] = label
+            row["n"] = N
+            row["p"] = P
+            row["d"] = D
+            rows.append(row)
+
+    base_qps = rows[0]["qps"]
+    for row in rows:
+        row["qps_speedup_vs_unbatched"] = round(row["qps"] / base_qps, 2)
+
+    batched = [r for r in rows if r["max_batch"] > 1 and r["transport"] == "inproc"]
+    results = {
+        "meta": bench_meta(),
+        "config": {
+            "n": N,
+            "m": M,
+            "d": D,
+            "p": P,
+            "clients": CLIENTS,
+            "configs": [c[0] for c in CONFIGS],
+            "cpu_count": os.cpu_count(),
+            "quick": QUICK,
+        },
+        "results": rows,
+        "summary": {
+            "answers_match_direct": all(
+                r["answers_match_direct"] for r in rows
+            ),
+            "unbatched_qps": base_qps,
+            "best_batched_qps": max(r["qps"] for r in batched),
+            "max_qps_speedup_vs_unbatched": max(
+                r["qps_speedup_vs_unbatched"] for r in batched
+            ),
+            # the headline gate: coalescing must beat one-query batches
+            # (best batched config; a wide window under a small closed
+            # population is allowed to only tie the baseline)
+            "batched_qps_exceeds_unbatched": max(
+                r["qps"] for r in batched
+            ) > base_qps,
+        },
+    }
+    OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def test_serve_bench(benchmark):
+    from conftest import run_once
+
+    results = run_once(benchmark, run_bench)
+    print(f"\nwrote {OUTPUT.name}: {json.dumps(results['summary'], indent=2)}")
+    assert results["summary"]["answers_match_direct"]
+    assert results["summary"]["batched_qps_exceeds_unbatched"]
+
+
+if __name__ == "__main__":
+    results = run_bench()
+    for row in results["results"]:
+        print(
+            f"{row['label']:>15}: {row['qps']:>8} qps "
+            f"(x{row['qps_speedup_vs_unbatched']} vs unbatched), "
+            f"p50 {row['p50_ms']}ms p99 {row['p99_ms']}ms, "
+            f"mean batch {row['mean_batch_size']}"
+        )
+    print(f"wrote {OUTPUT}")

@@ -27,7 +27,12 @@ import sys
 from pathlib import Path
 
 #: Row fields that identify a measurement (everything else is a metric).
-ID_KEYS = ("plane", "valueplane", "backend", "mode", "n", "m", "p", "d", "k")
+ID_KEYS = (
+    "plane", "valueplane", "backend", "mode", "n", "m", "p", "d", "k",
+    # serve-layer sweeps (BENCH_serve.json): the flush policy and the
+    # client population are part of a row's identity
+    "transport", "arrival", "clients", "max_wait_ms", "max_batch",
+)
 
 #: Baselines below this wall-clock are dominated by timer/startup noise.
 MIN_SECONDS = 0.05

@@ -71,6 +71,43 @@ def main() -> int:
     except Exception as exc:  # noqa: BLE001 - the smoke gate reports, not raises
         failures.append(f"repro.query exercise: {type(exc).__name__}: {exc}")
 
+    # Exercise the serve layer: two concurrent in-process clients against
+    # a tiny tree must coalesce into batches and answer exactly as a
+    # direct run would.
+    try:
+        import asyncio
+
+        from repro import DistributedRangeTree
+        from repro.query import QueryBatch, count, report
+        from repro.serve import FlushPolicy, QueryService
+
+        coords = [(0.1, 0.8), (0.4, 0.3), (0.6, 0.6), (0.9, 0.2)]
+        box = ((0.0, 0.7), (0.0, 1.0))
+        queries = [count(box), report(box)]
+        with DistributedRangeTree.build(coords, p=2) as tree:
+            expected = tree.run(QueryBatch(queries)).values()
+
+            async def serve_two_clients():
+                policy = FlushPolicy(max_wait_ms=5.0, max_batch=2)
+                async with QueryService(tree, policy) as service:
+                    resps = await asyncio.gather(
+                        *(service.query(q) for q in queries)
+                    )
+                    return [r.value for r in resps], service.metrics
+
+            got, metrics = asyncio.run(serve_two_clients())
+        if got != expected:
+            failures.append(f"repro.serve answers diverged: {got} != {expected}")
+        elif metrics.queries != 2:
+            failures.append(f"repro.serve lost queries: {metrics.summary()}")
+        else:
+            print(
+                f"repro.serve 2-client smoke: OK "
+                f"({metrics.batches} batch(es), flushes {metrics.flushes})"
+            )
+    except Exception as exc:  # noqa: BLE001 - the smoke gate reports, not raises
+        failures.append(f"repro.serve exercise: {type(exc).__name__}: {exc}")
+
     env = dict(os.environ)
     env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.run(

@@ -15,6 +15,7 @@ __all__ = [
     "require_power_of_two",
     "chunks",
     "pairwise_disjoint",
+    "percentiles",
 ]
 
 
@@ -49,6 +50,37 @@ def chunks(seq: Sequence[T], size: int) -> Iterator[Sequence[T]]:
         raise ValueError(f"chunk size must be positive, got {size}")
     for i in range(0, len(seq), size):
         yield seq[i : i + size]
+
+
+def percentiles(
+    values: Sequence[float], pcts: Sequence[float] = (50, 95, 99)
+) -> dict[str, "float | None"]:
+    """Linear-interpolated percentiles, keyed ``"p50"``, ``"p95"``, ...
+
+    The one shared implementation behind every latency/percentile figure
+    the repo reports (serve metrics, bench writers) — so "p99" means the
+    same estimator everywhere.  Uses the inclusive linear interpolation
+    between closest ranks (numpy's default method), computed on a sorted
+    copy.  Empty input maps every key to ``None`` rather than inventing
+    a number.
+    """
+    keys = [f"p{pct:g}" for pct in pcts]
+    if not values:
+        return {k: None for k in keys}
+    ordered = sorted(float(v) for v in values)
+    last = len(ordered) - 1
+    out: dict[str, "float | None"] = {}
+    for key, pct in zip(keys, pcts):
+        if not 0 <= pct <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {pct}")
+        rank = (pct / 100.0) * last
+        lo = int(rank)
+        hi = min(lo + 1, last)
+        frac = rank - lo
+        # a + (b - a) * frac: exact when the bracketing ranks tie, and
+        # never overshoots b (the two-product form can, by an ulp)
+        out[key] = ordered[lo] + (ordered[hi] - ordered[lo]) * frac
+    return out
 
 
 def pairwise_disjoint(sets: Iterable[Iterable[T]]) -> bool:

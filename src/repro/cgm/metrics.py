@@ -23,9 +23,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from .._util import percentiles
 from .cost import CostModel
 
-__all__ = ["StepRecord", "Metrics", "phase_of"]
+__all__ = ["StepRecord", "Metrics", "LatencyStats", "phase_of"]
 
 KIND_COMPUTE = "compute"
 KIND_COMM = "comm"
@@ -90,6 +91,59 @@ class StepRecord:
     @property
     def max_seconds(self) -> float:
         return max(self.seconds, default=0.0)
+
+
+class LatencyStats:
+    """Per-query latency accounting with percentile summaries.
+
+    The superstep trace above measures what the *theorems* talk about —
+    rounds, h-relations, charged work per pass.  A serving front-end
+    (:mod:`repro.serve`) additionally owes each *client* a latency
+    figure: how long their one query waited in the batching window plus
+    how long the shared pass took.  This accumulator records one sample
+    per query (milliseconds) and summarises with the shared
+    :func:`repro._util.percentiles` estimator, so serve metrics and
+    bench writers report the same p50/p95/p99 definition.
+    """
+
+    __slots__ = ("name", "values_ms")
+
+    def __init__(self, name: str = "latency") -> None:
+        self.name = name
+        self.values_ms: list[float] = []
+
+    def record(self, ms: float) -> None:
+        self.values_ms.append(float(ms))
+
+    @property
+    def count(self) -> int:
+        return len(self.values_ms)
+
+    @property
+    def mean_ms(self) -> float:
+        if not self.values_ms:
+            return 0.0
+        return sum(self.values_ms) / len(self.values_ms)
+
+    @property
+    def max_ms(self) -> float:
+        return max(self.values_ms, default=0.0)
+
+    def percentiles(self, pcts=(50, 95, 99)) -> dict:
+        """``{"p50": ..., ...}`` over the recorded samples (``None`` if empty)."""
+        return percentiles(self.values_ms, pcts)
+
+    def summary(self) -> dict:
+        """Flat dict for serve metrics / bench rows (``*_ms`` keys)."""
+        pct = self.percentiles()
+        out = {"count": self.count, "mean_ms": round(self.mean_ms, 4)}
+        for key, val in pct.items():
+            out[f"{key}_ms"] = None if val is None else round(val, 4)
+        out["max_ms"] = round(self.max_ms, 4)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LatencyStats({self.name!r}, n={self.count}, mean={self.mean_ms:.3f}ms)"
 
 
 @dataclass

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands::
+The subcommands::
 
     repro-range-search experiments [IDS ...] [--markdown] [-o FILE]
         Run the paper-reproduction experiments (DESIGN.md index) and print
@@ -21,6 +21,17 @@ Three subcommands::
         cross-checking every checkpoint against the sequential
         DynamicRangeTree oracle; ``--json`` emits the stream shape, the
         epoch layout, and the final checkpoint's ResultSet.
+
+    repro-range-search serve --n 4096 --p 4 --port 8787 --max-wait-ms 2
+        Run the micro-batching query daemon (repro.serve): concurrent
+        NDJSON/TCP clients coalesce into mixed-mode QueryBatches under
+        the adaptive flush policy; Ctrl-C drains in-flight batches.
+
+    repro-range-search loadgen --m 256 --clients 8 --arrival poisson --rate 2000
+        Drive a serve daemon with a seeded client population — an
+        in-process service over a fresh tree by default, or an external
+        daemon with --connect HOST:PORT — and print qps plus latency
+        percentiles; ``--json`` emits the measurement row.
 
     repro-range-search demo
         The quickstart walkthrough.
@@ -107,6 +118,79 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit stream shape, epoch layout, and the final checkpoint as JSON",
+    )
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the micro-batching query daemon over NDJSON/TCP",
+    )
+    srv.add_argument("--points", default="uniform", help="point distribution")
+    srv.add_argument("--n", type=int, default=4096, help="number of points")
+    srv.add_argument("--d", type=int, default=2, help="dimensions")
+    srv.add_argument("--p", type=int, default=4, help="virtual processors (power of two)")
+    srv.add_argument("--seed", type=int, default=0)
+    srv.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="serial",
+        help="execution backend",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8787, help="TCP port (0 = ephemeral)")
+    srv.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="coalescing window: flush a partial batch after this long",
+    )
+    srv.add_argument(
+        "--max-batch",
+        type=int,
+        default=1024,
+        help="coalescing window: flush as soon as this many queries wait",
+    )
+
+    lg = sub.add_parser(
+        "loadgen",
+        help="drive a serve daemon with a seeded client population",
+    )
+    lg.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="target an already-running daemon over TCP "
+        "(default: in-process service over a fresh tree)",
+    )
+    lg.add_argument("--points", default="uniform", help="point distribution (in-process)")
+    lg.add_argument("--n", type=int, default=4096, help="number of points (in-process)")
+    lg.add_argument("--d", type=int, default=2, help="dimensions")
+    lg.add_argument("--p", type=int, default=4, help="virtual processors (in-process)")
+    lg.add_argument("--m", type=int, default=256, help="number of queries")
+    lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument("--clients", type=int, default=4, help="client population size")
+    lg.add_argument(
+        "--arrival",
+        choices=["closed", "poisson"],
+        default="closed",
+        help="closed-loop population or open-loop Poisson arrivals",
+    )
+    lg.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="offered load in qps (poisson arrivals only)",
+    )
+    lg.add_argument("--max-wait-ms", type=float, default=2.0)
+    lg.add_argument("--max-batch", type=int, default=1024)
+    lg.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="serial",
+        help="execution backend (in-process)",
+    )
+    lg.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the measurement row as machine-readable JSON on stdout",
     )
 
     sub.add_parser("demo", help="run the quickstart walkthrough")
@@ -301,6 +385,100 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0 if mismatches == 0 else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .dist import DistributedRangeTree
+    from .serve import FlushPolicy, QueryService, start_tcp_server
+    from .workloads import make_points
+
+    points = make_points(args.points, args.n, args.d, seed=args.seed)
+
+    async def run(tree) -> None:
+        policy = FlushPolicy(
+            max_wait_ms=args.max_wait_ms, max_batch=args.max_batch
+        )
+        async with QueryService(tree, policy) as service:
+            server = await start_tcp_server(service, args.host, args.port)
+            sock = server.sockets[0].getsockname()
+            print(
+                f"serving {tree} on {sock[0]}:{sock[1]} "
+                f"(window {args.max_wait_ms}ms / {args.max_batch} queries); "
+                "Ctrl-C stops",
+                file=sys.stderr,
+            )
+            try:
+                await asyncio.Event().wait()  # forever, until cancelled
+            finally:
+                # stop accepting first; __aexit__ then drains in-flight work
+                server.close()
+                await server.wait_closed()
+                print(
+                    f"drained: {service.metrics.summary()}", file=sys.stderr
+                )
+
+    with DistributedRangeTree.build(
+        points, p=args.p, backend=args.backend
+    ) as tree:
+        try:
+            asyncio.run(run(tree))
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .serve import run_loadgen, run_loadgen_remote
+
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"--connect wants HOST:PORT, got {args.connect!r}", file=sys.stderr)
+            return 2
+        row = run_loadgen_remote(
+            host,
+            int(port),
+            m=args.m,
+            d=args.d,
+            seed=args.seed,
+            clients=args.clients,
+            arrival=args.arrival,
+            rate_qps=args.rate,
+        )
+    else:
+        from .dist import DistributedRangeTree
+        from .workloads import make_points
+
+        points = make_points(args.points, args.n, args.d, seed=args.seed)
+        with DistributedRangeTree.build(
+            points, p=args.p, backend=args.backend
+        ) as tree:
+            row = run_loadgen(
+                tree,
+                m=args.m,
+                seed=args.seed,
+                clients=args.clients,
+                arrival=args.arrival,
+                rate_qps=args.rate,
+                max_wait_ms=args.max_wait_ms,
+                max_batch=args.max_batch,
+            )
+    if args.json:
+        print(_json.dumps(row, indent=2, sort_keys=True))
+    else:
+        print(
+            f"{row['arrival']} x{row['clients']} over {row['transport']}: "
+            f"{row['qps']} qps, p50 {row['p50_ms']}ms, p99 {row['p99_ms']}ms, "
+            f"mean batch {row.get('mean_batch_size')}"
+        )
+        if row.get("answers_match_direct") is False:
+            print("answers DIVERGED from direct execution", file=sys.stderr)
+            return 1
+    return 0
+
+
 def _cmd_demo(_args: argparse.Namespace) -> int:
     import runpy
     from pathlib import Path
@@ -328,6 +506,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_query(args)
     if args.command == "stream":
         return _cmd_stream(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     if args.command == "demo":
         return _cmd_demo(args)
     raise AssertionError("unreachable")

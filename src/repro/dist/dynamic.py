@@ -51,6 +51,10 @@ from ..query.descriptors import Query, QueryBatch
 from ..query.epochs import EpochCombiner
 from ..query.result import QueryResult, ResultSet
 from ..semigroup import COUNT, Semigroup
+from ..semigroup.builtin import bounding_box_semigroup
+from ..semigroup.kernels import fold_segments, kernel_for
+
+import numpy as np
 
 __all__ = ["DynamicDistributedRangeTree", "buffer_key"]
 
@@ -138,6 +142,41 @@ class _Bucket:
     level: int
     tree: Any  # DistributedRangeTree
     records: List[Record] = field(default_factory=list)
+    #: tight ``(mins, maxs)`` over *all* records — live and tombstoned —
+    #: so pruning on it can never hide a pending aggregate subtraction
+    bbox: "Tuple[Tuple[float, ...], Tuple[float, ...]] | None" = None
+
+
+def _records_bbox(records: List[Record], dim: int):
+    """The ``(mins, maxs)`` bounding box of a record list.
+
+    Rides the bbox kernel (one vectorized segmented fold) when it
+    resolves; the object-path semigroup fold otherwise.  Identical
+    results either way — the kernel's sign trick is exact on floats.
+    """
+    sg = bounding_box_semigroup(dim)
+    kernel = kernel_for(sg)
+    if kernel is not None:
+        coords = np.asarray([c for _pid, c in records], dtype=np.float64)
+        mat = kernel.lift_columns(sg, coords)
+        if mat is not None:
+            folded = fold_segments(
+                kernel, mat, np.asarray([0]), np.asarray([len(records)])
+            )
+            return kernel.decode_row(folded[0])
+    return sg.fold(sg.lift(pid, c) for pid, c in records)
+
+
+def _bbox_hits_any(bbox, batch: QueryBatch) -> bool:
+    """Does ``(mins, maxs)`` intersect at least one query box (closed)?"""
+    mins, maxs = bbox
+    for q in batch:
+        lo, hi = q.box.lo, q.box.hi
+        if all(
+            mn <= h and mx >= l for mn, mx, l, h in zip(mins, maxs, lo, hi)
+        ):
+            return True
+    return False
 
 
 class DynamicDistributedRangeTree:
@@ -191,6 +230,7 @@ class DynamicDistributedRangeTree:
         self._next_auto_id = 0
         self._route_counter = 0
         self._rebuild_points = 0
+        self._pruned_bucket_passes = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -358,7 +398,12 @@ class DynamicDistributedRangeTree:
         tree = DistributedRangeTree.build(
             pts, machine=self.machine, semigroup=self.semigroup
         )
-        self._buckets[k] = _Bucket(level=k, tree=tree, records=carry)
+        self._buckets[k] = _Bucket(
+            level=k,
+            tree=tree,
+            records=carry,
+            bbox=_records_bbox(carry, self.dim),
+        )
         self._rebuild_points += len(carry)
 
     def _compact(self) -> None:
@@ -407,10 +452,22 @@ class DynamicDistributedRangeTree:
             batch, self.semigroup, self.dim, self._coords_of
         )
         sub = combiner.epoch_batch(batch.replication)
-        epoch_values = [
-            self._buckets[level].tree.run(sub).values()
-            for level in sorted(self._buckets)
-        ]
+        # bucket bbox pruning: an epoch whose bounding box (over live AND
+        # tombstoned records) misses every query box can only answer with
+        # identities — substitute them and skip its whole Search pass.
+        empty_values: "List[Any] | None" = None
+        epoch_values = []
+        for level in sorted(self._buckets):
+            bucket = self._buckets[level]
+            if bucket.bbox is not None and not _bbox_hits_any(
+                bucket.bbox, batch
+            ):
+                if empty_values is None:
+                    empty_values = combiner.empty_epoch_values()
+                epoch_values.append(empty_values)
+                self._pruned_bucket_passes += 1
+                continue
+            epoch_values.append(bucket.tree.run(sub).values())
         buffered_ids, dead_ids = self._side_matches(batch)
         answers = combiner.finalize_all(epoch_values, buffered_ids, dead_ids)
         results = [
@@ -503,6 +560,11 @@ class DynamicDistributedRangeTree:
     def rebuild_points_total(self) -> int:
         """Total records ever absorbed — the amortisation observable."""
         return self._rebuild_points
+
+    @property
+    def pruned_bucket_passes(self) -> int:
+        """Bucket Search passes skipped by bounding-box pruning."""
+        return self._pruned_bucket_passes
 
     def live_points(self) -> PointSet | None:
         """The live point set in sorted-id order (``None`` when empty).

@@ -16,6 +16,7 @@ __all__ = [
     "PowerOfTwoError",
     "CapacityExceeded",
     "ProtocolError",
+    "ServeError",
 ]
 
 
@@ -65,3 +66,9 @@ class CapacityExceeded(MachineError):
 
 class ProtocolError(MachineError):
     """A collective was invoked inconsistently across virtual processors."""
+
+
+class ServeError(ReproError):
+    """Errors raised by the query-service layer (:mod:`repro.serve`):
+    submissions to a closed daemon, malformed wire requests, failed
+    remote queries surfaced client-side."""

@@ -195,12 +195,18 @@ class QueryPlan:
         leaf_qids: frozenset,
         annotations: List[Semigroup],
         refit_semigroup: Semigroup | None,
+        annotation_token: Any = None,
     ) -> None:
         self.batch = batch
         self.specs = specs
         self.leaf_qids = leaf_qids
         self.annotations = annotations
         self.refit_semigroup = refit_semigroup
+        #: The tree annotation (by identity) this plan was computed
+        #: against; ``execute`` replans if the tree has moved on since —
+        #: the guard that lets a pipeline (repro.serve) plan batch K+1
+        #: while batch K's pass, possibly refitting, is still running.
+        self.annotation_token = annotation_token
 
     @property
     def needs_refit(self) -> bool:
@@ -291,7 +297,14 @@ class QueryEngine:
             else:
                 extract = lambda agg: agg
             specs.append(mode.spec(query, qid, sg, extract))
-        return QueryPlan(batch, specs, frozenset(leaf_qids), final, refit)
+        return QueryPlan(
+            batch,
+            specs,
+            frozenset(leaf_qids),
+            final,
+            refit,
+            annotation_token=tree.semigroup,
+        )
 
     # ------------------------------------------------------------------
     # execution
@@ -301,6 +314,10 @@ class QueryEngine:
 
         ``batch`` may be a :class:`QueryBatch`, a sequence of
         :class:`Query` descriptors, or a single :class:`Query`.
+        Equivalent to ``execute(plan(batch))`` — callers that want to
+        overlap planning with a previous batch's execution (the serve
+        layer's collector/executor pipeline) call the two halves
+        separately.
         """
         if isinstance(batch, Query):
             batch = QueryBatch([batch])
@@ -308,9 +325,22 @@ class QueryEngine:
             batch = QueryBatch(list(batch))
         if replication is not None:
             batch = QueryBatch(batch.queries, replication=replication)
+        return self.execute(self.plan(batch))
 
-        plan = self.plan(batch)
+    def execute(self, plan: QueryPlan) -> ResultSet:
+        """Run a previously computed :class:`QueryPlan`.
+
+        A plan is valid against the annotation state it was planned
+        over; if another batch's lazy refit has since swapped the tree's
+        annotation (``annotation_token`` no longer matches), the batch
+        is transparently re-planned first — cheap, driver-side, no
+        communication — so pipelined planning can never fold against a
+        stale annotation layout.
+        """
         tree = self.tree
+        if plan.annotation_token is not tree.semigroup:
+            plan = self.plan(plan.batch)
+        batch = plan.batch
         snap = tree.machine.metrics.snapshot()
 
         # Lazy annotation refit: local work + one broadcast round, cached.

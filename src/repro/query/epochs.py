@@ -93,6 +93,26 @@ class EpochCombiner:
     def semigroup_for(self, q: Query) -> Semigroup:
         return q.semigroup if q.semigroup is not None else self.base
 
+    def empty_epoch_values(self) -> List[Any]:
+        """What one epoch answers when *no* record can match the batch.
+
+        Exactly what running :meth:`epoch_batch` against an epoch with an
+        empty match set would return — 0 for counts, the semigroup
+        identity for aggregates, no ids for the report-family sub-queries
+        — so a caller that can prove emptiness (e.g. bucket bounding-box
+        pruning in :mod:`repro.dist.dynamic`) may substitute this list
+        for a whole Search pass.
+        """
+        out: List[Any] = []
+        for q in self.batch:
+            if q.mode == "count":
+                out.append(0)
+            elif q.mode == "aggregate":
+                out.append(self.semigroup_for(q).identity)
+            else:  # id family: the epoch sub-query is an unlimited report
+                out.append([])
+        return out
+
     # ------------------------------------------------------------------
     # the global fold
     # ------------------------------------------------------------------

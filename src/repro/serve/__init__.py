@@ -1,0 +1,49 @@
+"""``repro.serve`` — the query-service daemon with adaptive micro-batching.
+
+The paper's performance story (Theorems 3-5) prices a *batch* of m
+queries at one Search pass with O(1) communication rounds, and the
+query layer (:mod:`repro.query`) already makes a heterogeneous
+:class:`~repro.query.QueryBatch` cost exactly that.  This package turns
+**concurrent independent clients** into those batches:
+
+* :class:`QueryService` — a long-running asyncio daemon wrapping one
+  tree (static or dynamized).  Single queries arrive via the
+  ``await``-able in-process API (:meth:`QueryService.submit`) or over
+  TCP; a **collector** task coalesces them under the adaptive flush
+  policy ("flush at ``max_wait_ms`` or ``max_batch`` queries, whichever
+  first"), runs admission + engine planning for batch K+1 while batch K
+  executes (a two-stage collector → executor pipeline), and the
+  **executor** demultiplexes the :class:`~repro.query.ResultSet` back
+  to each client future, tagging every response with queue/exec
+  latency.
+* :mod:`repro.serve.server` / :mod:`repro.serve.client` — the
+  newline-delimited-JSON TCP transport (:mod:`repro.serve.protocol`).
+* :mod:`repro.serve.loadgen` — open-loop Poisson and closed-loop client
+  populations driving either transport, emitting the qps / p50 / p99
+  rows behind ``BENCH_serve.json``.
+
+Everything here is a *front-end*: answers are produced by the ordinary
+engine pass, so they are bit-identical to handing the same queries to
+``tree.run`` directly — asserted by the bench driver and the serve
+test suite.
+"""
+
+from .client import ServeClient
+from .loadgen import make_serve_queries, run_loadgen, run_loadgen_remote
+from .protocol import query_from_request, request_to_obj
+from .server import start_tcp_server
+from .service import FlushPolicy, QueryService, ServeMetrics, ServeResponse
+
+__all__ = [
+    "FlushPolicy",
+    "QueryService",
+    "ServeMetrics",
+    "ServeResponse",
+    "ServeClient",
+    "start_tcp_server",
+    "query_from_request",
+    "request_to_obj",
+    "make_serve_queries",
+    "run_loadgen",
+    "run_loadgen_remote",
+]

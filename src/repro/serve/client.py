@@ -1,0 +1,107 @@
+"""A minimal asyncio TCP client for the serve protocol.
+
+Used by the load generator's TCP mode, the CLI ``loadgen --connect``
+path, and the end-to-end tests.  One :class:`ServeClient` holds one
+connection; concurrent ``request`` calls multiplex over it, matched
+back by the auto-assigned request id (responses arrive in batch
+completion order, not submission order).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from typing import Any, Dict
+
+from ..errors import ServeError
+from ..query.descriptors import Query
+from .protocol import decode_line, request_to_obj
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One NDJSON connection to a serve daemon."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count()
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        self._closed = False
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        error: Exception | None = None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                obj = decode_line(line)
+                future = self._pending.pop(obj.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(obj)
+        except (ConnectionError, asyncio.CancelledError) as exc:
+            error = exc if isinstance(exc, ConnectionError) else None
+            if error is None:
+                raise
+        finally:
+            failure = error or ServeError("connection closed")
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(failure)
+            self._pending.clear()
+
+    async def request(self, query: Query) -> dict:
+        """Send one query; return the raw response object.
+
+        Raises :class:`~repro.errors.ServeError` if the daemon answered
+        with an error line for this request.
+        """
+        if self._closed:
+            raise ServeError("ServeClient is closed")
+        req_id = next(self._ids)
+        future = asyncio.get_running_loop().create_future()
+        self._pending[req_id] = future
+        self._writer.write(
+            (json.dumps(request_to_obj(query, req_id)) + "\n").encode()
+        )
+        await self._writer.drain()
+        obj = await future
+        if not obj.get("ok"):
+            raise ServeError(obj.get("error", "remote query failed"))
+        return obj
+
+    async def value(self, query: Query) -> Any:
+        """Send one query; return just its (JSON-safe) answer value."""
+        return (await self.request(query))["value"]
+
+    async def aclose(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.aclose()

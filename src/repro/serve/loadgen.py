@@ -1,0 +1,272 @@
+"""Load generation against the serve daemon: the bench behind the bench.
+
+Two client populations, both seeded and deterministic in *what* they
+ask (wall-clock timing is the measurement, not the input):
+
+* **closed-loop** — ``clients`` workers, each holding one query in
+  flight: submit, await, submit the next.  Offered load adapts to
+  service speed; this is the classic "population of users" shape and
+  the one the throughput comparison uses (the coalescing window turns
+  the c concurrent submissions into one batch).
+* **open-loop Poisson** — arrivals at seeded exponential inter-arrival
+  gaps targeting ``rate_qps``, submitted regardless of completions (no
+  coordinated omission); latency under a fixed offered load.
+
+:func:`run_loadgen` orchestrates a whole measurement: build the
+service over a caller-supplied tree, drive it over the in-process or
+TCP transport, and emit one flat row — qps, shared-estimator latency
+percentiles (:func:`repro._util.percentiles`), batch shape, and an
+``answers_match_direct`` bit cross-checking every response against one
+direct ``tree.run`` of the same queries.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Any, Callable, List
+
+from .._util import percentiles
+from ..errors import ServeError
+from ..query.descriptors import Query, QueryBatch, aggregate, count, report
+from ..query.result import _json_safe
+from ..workloads import make_queries
+from .client import ServeClient
+from .server import start_tcp_server
+from .service import FlushPolicy, QueryService
+
+__all__ = ["make_serve_queries", "run_loadgen", "run_loadgen_remote"]
+
+#: The mixed-mode cycle a loadgen client population issues.
+_MODE_CYCLE = (count, lambda b: report(b, limit=16), aggregate)
+
+
+def make_serve_queries(
+    m: int, d: int, seed: int = 0, selectivity: float = 0.02
+) -> List[Query]:
+    """``m`` mixed-mode single queries over the selectivity workload."""
+    boxes = make_queries(
+        "selectivity", m, d, seed=seed, selectivity=selectivity
+    )
+    return [_MODE_CYCLE[i % len(_MODE_CYCLE)](b) for i, b in enumerate(boxes)]
+
+
+async def _drive(
+    submit: Callable[[Query], Any],
+    queries: List[Query],
+    arrival: str,
+    clients: int,
+    rate_qps: float | None,
+    seed: int,
+) -> "tuple[list, list, float]":
+    """Issue every query; returns (values in query order, latencies_ms, wall_s).
+
+    ``submit`` is an async callable returning the answer value — the
+    transport adapter.  Latency here is the *client-observed* round
+    trip, measured on the loop clock per query.
+    """
+    loop = asyncio.get_running_loop()
+    values: List[Any] = [None] * len(queries)
+    latencies: List[float] = [0.0] * len(queries)
+
+    async def one(i: int) -> None:
+        t0 = loop.time()
+        values[i] = await submit(queries[i])
+        latencies[i] = (loop.time() - t0) * 1000.0
+
+    t_start = loop.time()
+    if arrival == "closed":
+        async def worker(idxs: List[int]) -> None:
+            for i in idxs:
+                await one(i)
+
+        await asyncio.gather(
+            *(worker(list(range(c, len(queries), clients)))
+              for c in range(clients))
+        )
+    elif arrival == "poisson":
+        if not rate_qps or rate_qps <= 0:
+            raise ServeError("poisson arrivals need rate_qps > 0")
+        rng = random.Random(seed)
+        at = 0.0
+        tasks = []
+        for i in range(len(queries)):
+            at += rng.expovariate(rate_qps)
+
+            async def arrive(i=i, at=at) -> None:
+                delay = (t_start + at) - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                await one(i)
+
+            tasks.append(asyncio.ensure_future(arrive()))
+        await asyncio.gather(*tasks)
+    else:
+        raise ServeError(
+            f"unknown arrival process {arrival!r} (closed | poisson)"
+        )
+    return values, latencies, loop.time() - t_start
+
+
+async def _run_inproc(service: QueryService, queries, arrival, clients,
+                      rate_qps, seed):
+    async def submit(q: Query):
+        return (await service.submit(q)).value
+
+    async with service:
+        return await _drive(submit, queries, arrival, clients, rate_qps, seed)
+
+
+async def _run_tcp(service: QueryService, queries, arrival, clients,
+                   rate_qps, seed):
+    async with service:
+        server = await start_tcp_server(service, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        conns = [
+            await ServeClient.connect("127.0.0.1", port)
+            for _ in range(clients)
+        ]
+        try:
+            turn = iter(range(len(queries)))
+
+            async def submit(q: Query):
+                return await conns[next(turn) % clients].value(q)
+
+            return await _drive(
+                submit, queries, arrival, clients, rate_qps, seed
+            )
+        finally:
+            for conn in conns:
+                await conn.aclose()
+            server.close()
+            await server.wait_closed()
+
+
+def run_loadgen_remote(
+    host: str,
+    port: int,
+    *,
+    m: int = 256,
+    d: int = 2,
+    seed: int = 0,
+    clients: int = 4,
+    arrival: str = "closed",
+    rate_qps: float | None = None,
+) -> dict:
+    """Drive an *external* daemon (``repro-range-search serve``) over TCP.
+
+    Unlike :func:`run_loadgen` there is no tree in hand, so no direct
+    cross-check and no service-side batch metrics — just the
+    client-observed qps and latency percentiles.
+    """
+    queries = make_serve_queries(m, d, seed=seed)
+    clients = max(1, int(clients))
+
+    async def go():
+        conns = [
+            await ServeClient.connect(host, port) for _ in range(clients)
+        ]
+        try:
+            turn = iter(range(len(queries)))
+
+            async def submit(q: Query):
+                return await conns[next(turn) % clients].value(q)
+
+            return await _drive(
+                submit, queries, arrival, clients, rate_qps, seed
+            )
+        finally:
+            for conn in conns:
+                await conn.aclose()
+
+    _values, latencies, wall_s = asyncio.run(go())
+    pct = percentiles(latencies, (50, 95, 99))
+    row = {
+        "transport": "tcp",
+        "arrival": arrival,
+        "clients": clients,
+        "m": len(queries),
+        "qps": round(len(queries) / wall_s, 1) if wall_s > 0 else None,
+        "p50_ms": round(pct["p50"], 4),
+        "p95_ms": round(pct["p95"], 4),
+        "p99_ms": round(pct["p99"], 4),
+        "answers_match_direct": None,
+    }
+    if rate_qps is not None:
+        row["rate_qps"] = rate_qps
+    return row
+
+
+def run_loadgen(
+    tree,
+    queries: "List[Query] | None" = None,
+    *,
+    m: int = 256,
+    seed: int = 0,
+    clients: int = 4,
+    arrival: str = "closed",
+    rate_qps: float | None = None,
+    max_wait_ms: float = 2.0,
+    max_batch: int = 1024,
+    transport: str = "inproc",
+    verify: bool = True,
+) -> dict:
+    """One complete loadgen measurement; returns a flat row dict.
+
+    The caller owns ``tree`` (it stays open); the service and any TCP
+    plumbing live only for the measurement.  With ``verify=True`` the
+    same queries also run as one direct ``tree.run`` batch and every
+    served answer is compared — bit-identical for the in-process
+    transport, JSON-coerced for TCP (the wire's representation).
+    """
+    if queries is None:
+        queries = make_serve_queries(m, tree.dim, seed=seed)
+    queries = list(queries)
+    clients = max(1, int(clients))
+
+    expected = None
+    if verify:
+        expected = tree.run(QueryBatch(queries)).values()
+
+    service = QueryService(
+        tree, FlushPolicy(max_wait_ms=max_wait_ms, max_batch=max_batch)
+    )
+    runner = _run_tcp if transport == "tcp" else _run_inproc
+    if transport not in ("inproc", "tcp"):
+        raise ServeError(f"unknown transport {transport!r} (inproc | tcp)")
+    wall0 = time.perf_counter()
+    values, latencies, wall_s = asyncio.run(
+        runner(service, queries, arrival, clients, rate_qps, seed)
+    )
+    _ = wall0  # loop-clock wall_s is the figure; perf_counter kept honest
+
+    answers_match = None
+    if expected is not None:
+        if transport == "tcp":
+            answers_match = [_json_safe(v) for v in expected] == values
+        else:
+            answers_match = expected == values
+
+    pct = percentiles(latencies, (50, 95, 99))
+    sm = service.metrics
+    row = {
+        "transport": transport,
+        "arrival": arrival,
+        "clients": clients,
+        "m": len(queries),
+        "max_wait_ms": max_wait_ms,
+        "max_batch": max_batch,
+        "qps": round(len(queries) / wall_s, 1) if wall_s > 0 else None,
+        "p50_ms": round(pct["p50"], 4),
+        "p95_ms": round(pct["p95"], 4),
+        "p99_ms": round(pct["p99"], 4),
+        "mean_batch_size": round(sm.mean_batch_size, 2),
+        "batches": sm.batches,
+        "flushes": dict(sm.flushes),
+        "serve_metrics": sm.summary(),
+        "answers_match_direct": answers_match,
+    }
+    if rate_qps is not None:
+        row["rate_qps"] = rate_qps
+    return row

@@ -1,0 +1,155 @@
+"""The serve wire protocol: newline-delimited JSON (NDJSON) over TCP.
+
+One request per line, one response per line; responses may interleave
+out of submission order (batches complete when their pass does), so
+every request carries a client-chosen ``id`` echoed verbatim in its
+response.
+
+Request object::
+
+    {"id": 7, "mode": "count", "box": [[0.1, 0.4], [0.2, 0.9]],
+     "limit": ..., "k": ..., "dim": ..., "seed": ...}
+
+``mode`` defaults to ``"count"``; ``box`` is the per-dimension
+``(lo, hi)`` list the :mod:`repro.query` constructors accept; the
+remaining keys are the mode-specific options (``limit`` for report,
+``k``/``dim`` for topk, ``k``/``seed`` for sample).  Aggregate queries
+fold the tree's build-time semigroup — per-query semigroups are an
+in-process API (callables do not serialize).
+
+Response object::
+
+    {"id": 7, "ok": true, "value": 42, "queue_ms": 1.8, "exec_ms": 3.1,
+     "batch_size": 128, "batch_seq": 5}
+
+or, on failure, ``{"id": 7, "ok": false, "error": "<message>"}``.
+Values pass through :func:`repro.query.result._json_safe`, the same
+coercion the CLI's ``--json`` contract uses.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import ServeError
+from ..query.descriptors import (
+    Query,
+    aggregate,
+    count,
+    report,
+    sample_report,
+    top_k,
+)
+from ..query.result import _json_safe
+from .service import ServeResponse
+
+__all__ = [
+    "query_from_request",
+    "request_to_obj",
+    "decode_line",
+    "encode_response",
+    "encode_error",
+]
+
+#: Modes the wire accepts, mapped to their per-request constructors.
+_WIRE_MODES = ("count", "report", "aggregate", "topk", "sample")
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one NDJSON line into a request/response object."""
+    try:
+        obj = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ServeError(f"malformed JSON line: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ServeError(
+            f"expected a JSON object per line, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def query_from_request(obj: dict) -> Query:
+    """Build the :class:`~repro.query.Query` one wire request describes."""
+    mode = obj.get("mode", "count")
+    box = obj.get("box")
+    if box is None:
+        raise ServeError("request is missing 'box'")
+    try:
+        if mode == "count":
+            return count(box)
+        if mode == "report":
+            limit = obj.get("limit")
+            return report(box, limit=None if limit is None else int(limit))
+        if mode == "aggregate":
+            return aggregate(box)
+        if mode == "topk":
+            if "k" not in obj:
+                raise ServeError("topk request is missing 'k'")
+            return top_k(box, int(obj["k"]), dim=int(obj.get("dim", 0)))
+        if mode == "sample":
+            if "k" not in obj:
+                raise ServeError("sample request is missing 'k'")
+            return sample_report(
+                box, int(obj["k"]), seed=int(obj.get("seed", 0))
+            )
+    except ServeError:
+        raise
+    except Exception as exc:
+        raise ServeError(f"malformed {mode!r} request: {exc}") from None
+    raise ServeError(
+        f"unknown mode {mode!r}; the wire accepts {', '.join(_WIRE_MODES)}"
+    )
+
+
+def request_to_obj(query: Query, req_id: Any) -> dict:
+    """Serialize a :class:`~repro.query.Query` into one wire request.
+
+    The inverse of :func:`query_from_request` for the wire-expressible
+    descriptor subset; a per-query semigroup cannot cross the wire and
+    is rejected here rather than silently dropped.
+    """
+    if query.mode not in _WIRE_MODES:
+        raise ServeError(f"mode {query.mode!r} is not wire-expressible")
+    if query.semigroup is not None:
+        raise ServeError(
+            "per-query semigroups do not serialize; use the in-process "
+            "client (QueryService.submit) for custom aggregates"
+        )
+    obj: dict = {
+        "id": req_id,
+        "mode": query.mode,
+        "box": [
+            [float(lo), float(hi)]
+            for lo, hi in zip(query.box.lo, query.box.hi)
+        ],
+    }
+    for key in ("limit", "k", "dim", "seed"):
+        val = query.option(key)
+        if val is not None:
+            obj[key] = val
+    return obj
+
+
+def _line(obj: dict) -> bytes:
+    return (json.dumps(obj, sort_keys=True) + "\n").encode()
+
+
+def encode_response(req_id: Any, resp: ServeResponse) -> bytes:
+    """One success line: the answer plus its latency/batch tags."""
+    return _line(
+        {
+            "id": req_id,
+            "ok": True,
+            "value": _json_safe(resp.value),
+            "queue_ms": round(resp.queue_ms, 4),
+            "exec_ms": round(resp.exec_ms, 4),
+            "batch_size": resp.batch_size,
+            "batch_seq": resp.batch_seq,
+        }
+    )
+
+
+def encode_error(req_id: Any, message: str) -> bytes:
+    """One failure line (still tagged with the request id, if any)."""
+    return _line({"id": req_id, "ok": False, "error": str(message)})

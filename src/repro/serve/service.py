@@ -1,0 +1,411 @@
+"""The micro-batching daemon core: collector → executor pipeline.
+
+One :class:`QueryService` wraps one tree (the static
+:class:`~repro.dist.DistributedRangeTree` or the dynamized
+:class:`~repro.dist.DynamicDistributedRangeTree` — anything with
+``run(batch) -> ResultSet``).  Clients hand it *single* queries; the
+service answers them through shared engine passes:
+
+* :meth:`QueryService.submit` validates the query (so a malformed
+  request fails its own caller, never a batch) and enqueues it with a
+  fresh future — the ``await``-able in-process client API the TCP
+  front-end (:mod:`repro.serve.server`) is also built on.
+* The **collector** task coalesces submissions under the adaptive
+  :class:`FlushPolicy`: a window flushes when it holds ``max_batch``
+  queries or when its *first* query has waited ``max_wait_ms``,
+  whichever comes first.  At flush time the collector runs stage-1
+  admission — drop already-cancelled futures, assemble the
+  :class:`~repro.query.QueryBatch`, compute the engine
+  :class:`~repro.query.engine.QueryPlan` when the tree has an engine —
+  and hands the planned batch to the executor queue.
+* The **executor** task pops planned batches and runs them on a
+  single worker thread (``run_in_executor``), so the event loop — and
+  with it the collector assembling batch K+1 — stays live while batch
+  K's search pass folds.  The executor queue holds at most one planned
+  batch: exactly two batches are ever in flight (one planning/queued,
+  one executing), which is the two-stage pipeline and its backpressure
+  in one mechanism.
+* Demultiplexing: each answer lands in its client's future as a
+  :class:`ServeResponse` tagging queue latency (submit → execution
+  start) and exec latency (the shared pass), plus the batch size and
+  sequence number the query rode in.  Cancelled futures (client
+  disconnects) are skipped without poisoning the rest of the batch.
+
+``aclose()`` drains gracefully: the close sentinel travels the same
+queues behind every accepted submission, so all in-flight work is
+answered before shutdown completes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, List
+
+from ..cgm.metrics import LatencyStats
+from ..errors import ServeError
+from ..query.descriptors import Query, QueryBatch
+from ..query.modes import get_mode
+
+__all__ = ["FlushPolicy", "ServeResponse", "ServeMetrics", "QueryService"]
+
+#: Sentinel that travels the request and executor queues on shutdown.
+_CLOSE = object()
+
+
+@dataclass(frozen=True)
+class FlushPolicy:
+    """The adaptive micro-batching knobs.
+
+    ``max_wait_ms`` bounds any query's time in the batching window (the
+    latency a client pays for batching); ``max_batch`` bounds the batch
+    size (the throughput lever).  ``max_batch=1`` disables coalescing —
+    the batch-size-1 baseline the serve bench compares against.
+    """
+
+    max_wait_ms: float = 2.0
+    max_batch: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ServeError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ServeError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """One answered query, as the client sees it.
+
+    ``queue_ms`` is the time from submission to the start of the
+    batch's engine pass (window wait + executor-queue wait); ``exec_ms``
+    is that shared pass's wall-clock; ``batch_size``/``batch_seq``
+    identify the batch the query rode in.
+    """
+
+    value: Any
+    queue_ms: float
+    exec_ms: float
+    batch_size: int
+    batch_seq: int
+
+    @property
+    def total_ms(self) -> float:
+        return self.queue_ms + self.exec_ms
+
+
+class ServeMetrics:
+    """What the daemon observed: per-query latency, batch shape, causes.
+
+    Latency percentiles ride :class:`~repro.cgm.metrics.LatencyStats`
+    (the shared estimator); ``flushes`` counts every window close by
+    cause (``size`` / ``timer`` / ``drain``) including windows that
+    turned out empty after cancellations, while ``batches`` counts only
+    executed ones.  ``batch_log`` keeps one entry per executed batch
+    (cause, size, flush/exec timestamps on the loop clock) — the
+    pipeline-overlap observable the tests assert on.
+    """
+
+    def __init__(self) -> None:
+        self.queue_latency = LatencyStats("queue")
+        self.exec_latency = LatencyStats("exec")
+        self.total_latency = LatencyStats("total")
+        self.queries = 0
+        self.batches = 0
+        self.cancelled = 0
+        self.errors = 0
+        self.flushes = {"size": 0, "timer": 0, "drain": 0}
+        self.batch_log: List[dict] = []
+
+    def record_query(self, queue_ms: float, exec_ms: float) -> None:
+        self.queries += 1
+        self.queue_latency.record(queue_ms)
+        self.exec_latency.record(exec_ms)
+        self.total_latency.record(queue_ms + exec_ms)
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batch_log:
+            return 0.0
+        return sum(b["size"] for b in self.batch_log) / len(self.batch_log)
+
+    def summary(self) -> dict:
+        """Flat dict for the CLI / loadgen reports (JSON-safe)."""
+        return {
+            "queries": self.queries,
+            "batches": self.batches,
+            "cancelled": self.cancelled,
+            "errors": self.errors,
+            "flushes": dict(self.flushes),
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "queue": self.queue_latency.summary(),
+            "exec": self.exec_latency.summary(),
+            "total": self.total_latency.summary(),
+        }
+
+
+class _Request:
+    """One submitted query awaiting its batch."""
+
+    __slots__ = ("query", "future", "t_submit")
+
+    def __init__(self, query: Query, future: asyncio.Future, t_submit: float):
+        self.query = query
+        self.future = future
+        self.t_submit = t_submit
+
+
+class _PlannedBatch:
+    """Stage-1 output: an admitted batch, planned and ready to execute."""
+
+    __slots__ = ("requests", "batch", "plan", "seq", "log")
+
+    def __init__(self, requests, batch, plan, seq, log) -> None:
+        self.requests = requests
+        self.batch = batch
+        self.plan = plan
+        self.seq = seq
+        self.log = log
+
+
+class QueryService:
+    """A long-running micro-batching daemon over one tree.
+
+    Use as an async context manager (``async with QueryService(tree)``)
+    or call :meth:`start` / :meth:`aclose` explicitly.  The service does
+    not own the tree: closing the service leaves the tree usable.
+
+    Thread model: all coalescing runs on the event loop; engine passes
+    run one at a time on a single worker thread, so the tree sees
+    strictly sequential batches (backends and metrics need no locking).
+    """
+
+    def __init__(self, tree, policy: FlushPolicy | None = None) -> None:
+        self.tree = tree
+        self.policy = policy or FlushPolicy()
+        self.metrics = ServeMetrics()
+        self._seq = itertools.count()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._requests: asyncio.Queue | None = None
+        self._exec_queue: asyncio.Queue | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._collector_task: asyncio.Task | None = None
+        self._executor_task: asyncio.Task | None = None
+        self._closing = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "QueryService":
+        if self._loop is not None:
+            raise ServeError("QueryService already started")
+        self._loop = asyncio.get_running_loop()
+        self._requests = asyncio.Queue()
+        # maxsize=1: at most one planned batch waits behind the one
+        # executing — the pipeline depth, and the collector backpressure.
+        self._exec_queue = asyncio.Queue(maxsize=1)
+        self._pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve"
+        )
+        self._collector_task = asyncio.ensure_future(self._collect())
+        self._executor_task = asyncio.ensure_future(self._execute_loop())
+        return self
+
+    async def aclose(self) -> None:
+        """Drain in-flight work, then stop the pipeline tasks.
+
+        Every submission accepted before this call resolves before it
+        returns: the close sentinel queues *behind* pending requests,
+        the collector flushes the open window as a ``drain`` batch, and
+        the executor finishes everything ahead of the sentinel.
+        """
+        if self._loop is None or self._closed:
+            return
+        self._closing = True
+        await self._requests.put(_CLOSE)
+        await self._collector_task
+        await self._executor_task
+        self._pool.shutdown(wait=True)
+        self._closed = True
+
+    async def __aenter__(self) -> "QueryService":
+        return await self.start()
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.aclose()
+
+    @property
+    def running(self) -> bool:
+        return self._loop is not None and not self._closing
+
+    # ------------------------------------------------------------------
+    # the in-process client API
+    # ------------------------------------------------------------------
+    def submit(self, query: Query) -> "asyncio.Future[ServeResponse]":
+        """Enqueue one query; the future resolves to a :class:`ServeResponse`.
+
+        Validation happens here, synchronously, so a malformed query
+        raises to its own submitter and can never poison a batch other
+        clients are riding.  Cancelling the returned future withdraws
+        the query: pre-flush it is dropped at admission, post-flush its
+        slot in the pass is computed but the answer is discarded.
+        """
+        if not self.running:
+            raise ServeError("QueryService is not running")
+        if not isinstance(query, Query):
+            raise ServeError(
+                f"submit takes a repro.query.Query descriptor, got "
+                f"{type(query).__name__}"
+            )
+        dim = self.tree.dim
+        if query.box.dim != dim:
+            raise ServeError(
+                f"query box has dimension {query.box.dim}, tree is {dim}-d"
+            )
+        get_mode(query.mode).validate(query, dim)
+        future = self._loop.create_future()
+        self._requests.put_nowait(
+            _Request(query, future, self._loop.time())
+        )
+        return future
+
+    async def query(self, query: Query) -> ServeResponse:
+        """Submit and await one query (convenience for tests/examples)."""
+        return await self.submit(query)
+
+    # ------------------------------------------------------------------
+    # stage 1: the collector (coalescing + admission + planning)
+    # ------------------------------------------------------------------
+    async def _collect(self) -> None:
+        loop = self._loop
+        wait_s = self.policy.max_wait_ms / 1000.0
+        max_batch = self.policy.max_batch
+        pending: List[_Request] = []
+        deadline = 0.0
+        get_task: asyncio.Task | None = None
+        while True:
+            # One long-lived get() task per item: a timed-out wait keeps
+            # the task (and any item it later receives) for the next
+            # iteration, so no submission can fall through a timeout.
+            if get_task is None:
+                get_task = asyncio.ensure_future(self._requests.get())
+            if pending:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    await self._flush(pending, "timer")
+                    pending = []
+                    continue
+                done, _ = await asyncio.wait({get_task}, timeout=remaining)
+                if not done:
+                    await self._flush(pending, "timer")
+                    pending = []
+                    continue
+            else:
+                await asyncio.wait({get_task})
+            item = get_task.result()
+            get_task = None
+            if item is _CLOSE:
+                if pending:
+                    await self._flush(pending, "drain")
+                await self._exec_queue.put(_CLOSE)
+                return
+            if not pending:
+                deadline = loop.time() + wait_s
+            pending.append(item)
+            if len(pending) >= max_batch:
+                await self._flush(pending, "size")
+                pending = []
+
+    async def _flush(self, requests: List[_Request], cause: str) -> None:
+        """Admit one window: drop dead futures, plan, enqueue for exec."""
+        self.metrics.flushes[cause] += 1
+        live = [r for r in requests if not r.future.done()]
+        self.metrics.cancelled += len(requests) - len(live)
+        if not live:
+            return  # the whole window was withdrawn: execute nothing
+        batch = QueryBatch([r.query for r in live])
+        seq = next(self._seq)
+        log = {
+            "seq": seq,
+            "cause": cause,
+            "size": len(live),
+            "t_flush": self._loop.time(),
+            "t_exec_start": None,
+            "t_exec_end": None,
+        }
+        engine = getattr(self.tree, "engine", None)
+        try:
+            plan = engine.plan(batch) if engine is not None else None
+        except Exception as exc:
+            # per-query validation ran at submit, so this is a batch-level
+            # planning failure: fail these clients, keep the daemon alive
+            self.metrics.errors += len(live)
+            for req in live:
+                if not req.future.done():
+                    req.future.set_exception(
+                        ServeError(f"batch planning failed: {exc}")
+                    )
+            return
+        self.metrics.batches += 1
+        self.metrics.batch_log.append(log)
+        await self._exec_queue.put(_PlannedBatch(live, batch, plan, seq, log))
+
+    # ------------------------------------------------------------------
+    # stage 2: the executor (one engine pass at a time) + demux
+    # ------------------------------------------------------------------
+    def _run_batch(self, item: _PlannedBatch):
+        """The worker-thread body: one shared engine pass for the batch."""
+        if item.plan is not None:
+            return self.tree.engine.execute(item.plan)
+        return self.tree.run(item.batch)
+
+    async def _execute_loop(self) -> None:
+        loop = self._loop
+        while True:
+            item = await self._exec_queue.get()
+            if item is _CLOSE:
+                return
+            t_start = loop.time()
+            item.log["t_exec_start"] = t_start
+            try:
+                rs = await loop.run_in_executor(
+                    self._pool, self._run_batch, item
+                )
+            except Exception as exc:
+                self.metrics.errors += len(item.requests)
+                item.log["t_exec_end"] = loop.time()
+                failure = ServeError(f"batch execution failed: {exc}")
+                for req in item.requests:
+                    if not req.future.done():
+                        req.future.set_exception(failure)
+                continue
+            t_end = loop.time()
+            item.log["t_exec_end"] = t_end
+            exec_ms = (t_end - t_start) * 1000.0
+            size = len(item.requests)
+            values = rs.values()
+            for req, value in zip(item.requests, values):
+                queue_ms = (t_start - req.t_submit) * 1000.0
+                self.metrics.record_query(queue_ms, exec_ms)
+                if req.future.done():  # cancelled mid-batch: discard
+                    self.metrics.cancelled += 1
+                    continue
+                req.future.set_result(
+                    ServeResponse(value, queue_ms, exec_ms, size, item.seq)
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "closed"
+            if self._closed
+            else ("running" if self.running else "new")
+        )
+        return (
+            f"QueryService({self.tree!r}, {self.policy}, {state}, "
+            f"served={self.metrics.queries})"
+        )

@@ -354,3 +354,121 @@ class TestDifferentialStream:
         ) as dyn:
             oracle = DynamicRangeTree(2, semigroup=STREAM_GROUP)
             assert drive_stream(ops, dyn, oracle, rebuild_every=5) >= 3
+
+
+class TestBBoxPruning:
+    """Per-bucket bounding-box pruning: skip Search passes that cannot
+    match, never change an answer."""
+
+    @staticmethod
+    def _two_cluster_tree(**kwargs):
+        # 32 points near the origin end up in one bucket, 8 far points in
+        # another: queries inside either cluster can prune the other
+        dyn = DynamicDistributedRangeTree.build(
+            dim=2, p=2, flush_threshold=8, **kwargs
+        )
+        rng = __import__("random").Random(7)
+        for _ in range(32):
+            dyn.insert((rng.uniform(0, 1), rng.uniform(0, 1)))
+        for _ in range(8):
+            dyn.insert((rng.uniform(10, 11), rng.uniform(10, 11)))
+        return dyn
+
+    def test_disjoint_query_prunes_and_matches_rebuild(self):
+        with self._two_cluster_tree() as dyn:
+            assert len(dyn.bucket_sizes) == 2
+            batch = QueryBatch(
+                [
+                    count(((10.0, 11.0), (10.0, 11.0))),
+                    report(((10.0, 11.0), (10.0, 11.0))),
+                ]
+            )
+            got = dyn.run(batch).values()
+            assert dyn.pruned_bucket_passes == 1  # the 32-bucket skipped
+            with DistributedRangeTree.build(dyn.live_points(), p=2) as static:
+                assert got == static.run(batch).values()
+
+    def test_spanning_query_prunes_nothing(self):
+        with self._two_cluster_tree() as dyn:
+            rs = dyn.run(QueryBatch([count(((0.0, 11.0), (0.0, 11.0)))]))
+            assert rs.values() == [40]
+            assert dyn.pruned_bucket_passes == 0
+
+    def test_mixed_batch_only_needs_one_box_to_keep_bucket(self):
+        # one query hits each cluster: neither bucket may be pruned
+        with self._two_cluster_tree() as dyn:
+            batch = QueryBatch(
+                [
+                    count(((0.0, 1.0), (0.0, 1.0))),
+                    count(((10.0, 11.0), (10.0, 11.0))),
+                ]
+            )
+            assert dyn.run(batch).values() == [32, 8]
+            assert dyn.pruned_bucket_passes == 0
+
+    def test_pruning_with_tombstones_and_aggregates(self, monkeypatch):
+        # deleting far-cluster points tombstones them; a far query that
+        # prunes the near bucket must answer bit-identically to the same
+        # query with pruning disabled (the subtraction path untouched)
+        from repro.dist import dynamic as dyn_mod
+
+        def answers(disable_pruning: bool):
+            with self._two_cluster_tree(semigroup=STREAM_GROUP) as dyn:
+                if disable_pruning:
+                    monkeypatch.setattr(
+                        dyn_mod, "_bbox_hits_any", lambda bbox, batch: True
+                    )
+                far_ids = [
+                    pid
+                    for pid in sorted(dyn.live_points().ids)
+                    if dyn._coords_by_id[pid][0] > 5
+                ]
+                for pid in far_ids[:3]:
+                    dyn.delete(pid)
+                batch = QueryBatch(
+                    [
+                        count(((10.0, 11.0), (10.0, 11.0))),
+                        aggregate(((10.0, 11.0), (10.0, 11.0))),
+                        report(((10.0, 11.0), (10.0, 11.0))),
+                    ]
+                )
+                got = dyn.run(batch).values()
+                pruned = dyn.pruned_bucket_passes
+            monkeypatch.undo()
+            return got, pruned
+
+        pruned_vals, pruned_count = answers(disable_pruning=False)
+        full_vals, full_count = answers(disable_pruning=True)
+        assert pruned_count >= 1 and full_count == 0
+        assert pruned_vals == full_vals
+        assert pruned_vals[0] == 5 and len(pruned_vals[2]) == 5
+
+    def test_buffered_points_are_not_pruned_away(self):
+        # buffered (not yet absorbed) records bypass bucket pruning via
+        # the side scan: a query matching only buffered points answers
+        with DynamicDistributedRangeTree.build(
+            dim=2, p=2, flush_threshold=64
+        ) as dyn:
+            for i in range(8):
+                dyn.insert((20.0 + i * 0.01, 20.0))  # all stay buffered
+            assert dyn.buffered_count == 8
+            rs = dyn.run(QueryBatch([count(((19.0, 21.0), (19.0, 21.0)))]))
+            assert rs.values() == [8]
+
+    def test_empty_epoch_values_matches_real_empty_run(self):
+        # the identity substitution equals what a bucket actually answers
+        # for a no-match batch, mode by mode
+        from repro.query.epochs import EpochCombiner
+
+        with self._two_cluster_tree(semigroup=STREAM_GROUP) as dyn:
+            far = ((99.0, 99.5), (99.0, 99.5))  # matches nothing anywhere
+            batch = QueryBatch(
+                [count(far), aggregate(far), report(far), sample_report(far, 2)]
+            )
+            combiner = EpochCombiner(
+                batch, dyn.semigroup, dyn.dim, dyn._coords_of
+            )
+            sub = combiner.epoch_batch()
+            level = sorted(dyn._buckets)[0]
+            real = dyn._buckets[level].tree.run(sub).values()
+            assert combiner.empty_epoch_values() == real

@@ -12,6 +12,7 @@ from repro._util import (
     is_power_of_two,
     next_power_of_two,
     pairwise_disjoint,
+    percentiles,
     require_power_of_two,
 )
 from repro.errors import PowerOfTwoError
@@ -88,3 +89,60 @@ class TestPairwiseDisjoint:
 
     def test_empty_collections(self):
         assert pairwise_disjoint([[], [], []])
+
+
+class TestPercentiles:
+    def test_empty_is_none(self):
+        assert percentiles([]) == {"p50": None, "p95": None, "p99": None}
+
+    def test_single_value(self):
+        assert percentiles([7.0]) == {"p50": 7.0, "p95": 7.0, "p99": 7.0}
+
+    def test_linear_interpolation(self):
+        got = percentiles([0.0, 10.0], (50,))
+        assert got == {"p50": 5.0}
+
+    def test_known_quartiles(self):
+        values = list(range(1, 101))  # 1..100
+        got = percentiles(values, (0, 50, 100))
+        assert got == {"p0": 1.0, "p50": 50.5, "p100": 100.0}
+
+    def test_unsorted_input(self):
+        assert percentiles([3.0, 1.0, 2.0], (50,)) == {"p50": 2.0}
+
+    def test_bad_pct_raises(self):
+        with pytest.raises(ValueError):
+            percentiles([1.0], (101,))
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1))
+    def test_bounded_and_monotone(self, xs: list[float]):
+        got = percentiles(xs, (0, 50, 95, 100))
+        assert min(xs) <= got["p0"] <= got["p50"] <= got["p95"] <= got["p100"] <= max(xs)
+
+
+class TestLatencyStats:
+    def test_summary_shape(self):
+        from repro.cgm.metrics import LatencyStats
+
+        stats = LatencyStats("queue")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            stats.record(v)
+        s = stats.summary()
+        assert s["count"] == 4
+        assert s["mean_ms"] == 2.5
+        assert s["max_ms"] == 4.0
+        assert s["p50_ms"] == 2.5
+        assert s["p50_ms"] <= s["p95_ms"] <= s["p99_ms"] <= s["max_ms"]
+
+    def test_empty_summary_is_none_safe(self):
+        from repro.cgm.metrics import LatencyStats
+
+        s = LatencyStats("exec").summary()
+        assert s == {
+            "count": 0,
+            "mean_ms": 0.0,
+            "p50_ms": None,
+            "p95_ms": None,
+            "p99_ms": None,
+            "max_ms": 0.0,
+        }
