@@ -71,24 +71,58 @@ def _checksum(values) -> str:
     return hashlib.sha256(repr(list(values)).encode()).hexdigest()[:16]
 
 
+def _phase_breakdown(metrics, wall_s: float) -> dict:
+    """Attribute one search+query pass's wall time to its phases.
+
+    Compute steps carry per-processor seconds; communication steps do
+    not (the in-process backends complete an exchange inside the driver).
+    So walk / forest / fold are the summed compute seconds of their
+    steps, and *route* is the wall-time residual — exchanges, routing
+    packs, and driver-side orchestration between the compute steps.
+    """
+    walk = forest = fold = other = 0.0
+    for s in metrics.compute_steps():
+        secs = sum(s.seconds)
+        if s.label == "search:walk":
+            walk += secs
+        elif s.label == "search:forest":
+            forest += secs
+        elif s.label.startswith("query:demux"):
+            fold += secs
+        else:  # refit, replicate pack/unpack: tracked but not headlined
+            other += secs
+    return {
+        "walk_seconds": round(walk, 5),
+        "route_seconds": round(
+            max(0.0, wall_s - walk - forest - fold - other), 5
+        ),
+        "forest_seconds": round(forest, 5),
+        "fold_seconds": round(fold, 5),
+    }
+
+
 def _timed(plane: str, n: int, m: int, p: int, pts, batch) -> dict:
     with columns.dataplane(plane):
         t0 = time.perf_counter()
         with DistributedRangeTree.build(pts, p=p) as tree:
             construct_s = time.perf_counter() - t0
             search_s = float("inf")
+            best_rs = None
             for _ in range(SEARCH_REPEATS):
                 tree.reset_metrics()
                 t1 = time.perf_counter()
                 rs = tree.run(batch)
-                search_s = min(search_s, time.perf_counter() - t1)
+                elapsed = time.perf_counter() - t1
+                if elapsed < search_s:
+                    search_s, best_rs = elapsed, rs
+            rs = best_rs
             values = rs.values()
             search_rounds = [
                 row
                 for row in rs.metrics.comm_bytes_by_round()
                 if row["phase"] in ("search", "query")
             ]
-    return {
+    row = {
         "plane": plane,
         "n": n,
         "m": m,
@@ -101,6 +135,8 @@ def _timed(plane: str, n: int, m: int, p: int, pts, batch) -> dict:
         "search_bytes_by_round": search_rounds,
         "answer_checksum": _checksum(values),
     }
+    row.update(_phase_breakdown(rs.metrics, search_s))
+    return row
 
 
 def run_bench() -> dict:
@@ -119,6 +155,9 @@ def run_bench() -> dict:
         base = legacy_at[(r["n"], r["p"])]
         r["pipeline_speedup_vs_object"] = round(
             base["pipeline_seconds"] / max(r["pipeline_seconds"], 1e-9), 3
+        )
+        r["walk_speedup_vs_object"] = round(
+            base["walk_seconds"] / max(r["walk_seconds"], 1e-9), 3
         )
         r["answers_match_object"] = (
             r["answer_checksum"] == base["answer_checksum"]
@@ -149,6 +188,20 @@ def run_bench() -> dict:
                 r["pipeline_speedup_vs_object"] for r in columnar_rows
             ),
             "headline_speedup_at_max_n": max(headline),
+            # the compiled hat walk's own win, isolated from the rest of
+            # the pipeline: min over the full-size (m = 2048) sweep, so
+            # it certifies *every* large config, not a lucky one
+            "min_walk_speedup_at_m2048": min(
+                (
+                    r["walk_speedup_vs_object"]
+                    for r in columnar_rows
+                    if r["m"] >= 2048
+                ),
+                default=None,
+            ),
+            "best_walk_speedup": max(
+                r["walk_speedup_vs_object"] for r in columnar_rows
+            ),
             # every non-empty search/demux round carries a bytes figure
             # (padding rounds of the doubling schedule legitimately move 0)
             "search_rounds_with_bytes": all(
@@ -175,6 +228,9 @@ def test_dataplane_bench(benchmark):
     assert summary["search_rounds_with_bytes"]
     if not results["config"]["quick"]:
         assert summary["headline_speedup_at_max_n"] >= 1.5
+        # PR 8 acceptance: the compiled walk at least halves the
+        # walk-phase seconds on every m = 2048 config
+        assert summary["min_walk_speedup_at_m2048"] >= 2.0
 
 
 if __name__ == "__main__":
@@ -184,7 +240,9 @@ if __name__ == "__main__":
             f"{row['plane']:>8} n={row['n']:>5} p={row['p']}: "
             f"construct {row['construct_seconds']}s "
             f"search {row['search_seconds']}s "
-            f"(pipeline x{row['pipeline_speedup_vs_object']} vs object)"
+            f"walk {row['walk_seconds']}s "
+            f"(pipeline x{row['pipeline_speedup_vs_object']}, "
+            f"walk x{row['walk_speedup_vs_object']} vs object)"
         )
     print(json.dumps(results["summary"], indent=2))
     print(f"wrote {OUTPUT}")

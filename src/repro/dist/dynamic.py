@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 from .._util import require_power_of_two
+from ..cgm.columns import columnar_enabled
 from ..cgm.cost import CostModel
 from ..cgm.machine import Machine
 from ..cgm.phases import ProcContext, register_phase
@@ -398,6 +399,10 @@ class DynamicDistributedRangeTree:
         tree = DistributedRangeTree.build(
             pts, machine=self.machine, semigroup=self.semigroup
         )
+        if columnar_enabled():
+            # warm the bucket's compiled hat once at absorption — every
+            # epoch's query batches reuse it until the next refit
+            tree.hat.compiled()
         self._buckets[k] = _Bucket(
             level=k,
             tree=tree,

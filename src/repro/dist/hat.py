@@ -25,16 +25,20 @@ a hat leaf and must proceed inside a forest element.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, List, Sequence, Tuple
+from typing import Any, Callable, Collection, Iterator, List, Sequence, Tuple
+
+import numpy as np
 
 from .._util import ilog2, require_power_of_two
+from ..cgm.columns import Ragged, RecordBatch
 from ..errors import MachineError, ProtocolError
 from ..geometry.box import RankBox
 from ..semigroup import Semigroup
+from ..semigroup.kernels import KernelColumn, kernel_for
 from .labeling import Path, TreeId, leaf_index, make_path, parent_index
-from .records import ForestRootInfo, HatSelectionRecord, Subquery
+from .records import ForestRootInfo, HatSelectionRecord, Subquery, flatten_path
 
-__all__ = ["Hat", "HatNode"]
+__all__ = ["Hat", "HatNode", "CompiledHat"]
 
 
 class HatNode:
@@ -128,6 +132,10 @@ class Hat:
         self.p = p
         self._leaf_level = leaf_level
         self.semigroup = semigroup
+        #: struct-of-arrays lowering, built lazily (invalidated on refit)
+        self._compiled: "CompiledHat | None" = None
+        #: memoized leaf tilings, keyed by node path (structure never changes)
+        self._leaves_under: dict[Path, List[HatNode]] = {}
 
     # ------------------------------------------------------------------
     # construction from broadcast forest roots (Construct step 5)
@@ -268,7 +276,15 @@ class Hat:
         return len({v.tree_id for v in self.iter_nodes()})
 
     def forest_leaves_under(self, node: HatNode) -> List[HatNode]:
-        """Hat leaves of ``node``'s own segment tree below it, left to right."""
+        """Hat leaves of ``node``'s own segment tree below it, left to right.
+
+        Memoized per node path: the hat's shape is fixed for the lifetime
+        of the structure (refits replace aggregates, never topology), so
+        report-mode walks stop re-traversing the subtree per selection.
+        """
+        cached = self._leaves_under.get(node.path)
+        if cached is not None:
+            return cached
         out: List[HatNode] = []
         stack = [node]
         while stack:
@@ -278,7 +294,21 @@ class Hat:
             else:
                 stack.append(v.right)  # type: ignore[arg-type]
                 stack.append(v.left)  # type: ignore[arg-type]
+        self._leaves_under[node.path] = out
         return out
+
+    def compiled(self) -> "CompiledHat":
+        """The struct-of-arrays lowering of this hat, built once and cached.
+
+        Safe under the in-process backends' shared-hat seeding: the
+        compile is pure and the cache assignment atomic, so a racing
+        rebuild only duplicates work, never mixes states.
+        """
+        c = self._compiled
+        if c is None:
+            c = CompiledHat.build(self)
+            self._compiled = c
+        return c
 
     # ------------------------------------------------------------------
     # Algorithm Search step 1: the hat walk
@@ -389,6 +419,9 @@ class Hat:
                 raise ProtocolError(f"re-annotation is missing forest root {leaf.path}")
             leaf.agg = info.agg
         self._refold(self.root)
+        # the compiled lowering snapshots aggregates — stale snapshots
+        # must never serve a batch after a refit
+        self._compiled = None
 
     def _refold(self, node: HatNode) -> None:
         if not node.is_hat_leaf:
@@ -403,3 +436,262 @@ class Hat:
             f"Hat(n={self.n}, p={self.p}, d={self.d}, "
             f"nodes={self.size_nodes()}, leaf_level={self._leaf_level})"
         )
+
+
+# ---------------------------------------------------------------------------
+# the compiled hat: struct-of-arrays lowering + batched frontier walk
+# ---------------------------------------------------------------------------
+class CompiledHat:
+    """The hat lowered to flat arrays, walked for all queries at once.
+
+    Node ids are assigned in the *global DFS order* the object walk
+    emits in — ``order(v) = [v] + order(v.descendant tree) + order(left
+    subtree) + order(right subtree)`` — so per-query emission order is
+    monotone in node id and one ``lexsort((node, query))`` reproduces
+    the object walk's output order exactly.
+
+    Per node: ``lo``/``hi``/``nleaves``/``location`` int64, ``leaf``/
+    ``last_dim`` bool, ``left``/``right``/``desc`` child offsets (−1
+    when absent; Definition 2's heap arithmetic fixes them at compile
+    time).  Hat-leaf tilings are precomputed: for every dimension-``d``
+    node, ``tile_off``/``tile_len`` slice the flat ``tile_leaf_ids``
+    block of its tree (the leaves under ``(idx, lvl)`` are the
+    contiguous heap range ``[idx << h, (idx+1) << h)`` at the cut
+    level).  Aggregates ride as an object column plus, on the kernel
+    plane, a typed matrix encoded once by the semigroup's kernel.
+
+    :meth:`walk_batch` is Search step 1 as level-by-level numpy
+    frontier expansion: each iteration classifies every live
+    ``(query, node)`` pair into die/select/split/descend with array
+    comparisons and appends straight into packed selection/subquery
+    columns — bit-identical to :meth:`Hat.walk` run per query.
+    """
+
+    __slots__ = (
+        "d",
+        "leaf_level",
+        "dim",
+        "lo",
+        "hi",
+        "nleaves",
+        "leaf",
+        "last_dim",
+        "left",
+        "right",
+        "desc",
+        "location",
+        "tile_off",
+        "tile_len",
+        "tile_leaf_ids",
+        "paths",
+        "agg_obj",
+        "agg_kernel",
+        "agg_mat",
+    )
+
+    def __init__(self, **arrays: Any) -> None:
+        for name in self.__slots__:
+            setattr(self, name, arrays[name])
+
+    @classmethod
+    def build(cls, hat: Hat) -> "CompiledHat":
+        """Lower ``hat`` into DFS-ordered arrays (one pass, no walks)."""
+        d = hat.d
+        leaf_lvl = hat.leaf_level
+        nodes: List[HatNode] = []
+        left: List[int] = []
+        right: List[int] = []
+        desc: List[int] = []
+        tile_off: List[int] = []
+        tile_len: List[int] = []
+        tile_leaf_ids: List[int] = []
+
+        def visit(v: HatNode, tlist: List[int]) -> int:
+            i = len(nodes)
+            nodes.append(v)
+            tlist.append(i)
+            left.append(-1)
+            right.append(-1)
+            desc.append(-1)
+            tile_off.append(0)
+            tile_len.append(0)
+            if v.descendant is not None:
+                desc[i] = visit_tree(v.descendant)
+            if v.left is not None:
+                left[i] = visit(v.left, tlist)
+                right[i] = visit(v.right, tlist)  # type: ignore[arg-type]
+            return i
+
+        def visit_tree(root: HatNode) -> int:
+            tlist: List[int] = []
+            rid = visit(root, tlist)
+            if root.dim == d - 1:
+                # pre-order within one tree lists leaves left to right,
+                # i.e. in heap-index order — so each node's tiling is a
+                # contiguous slice of this tree's block
+                base = len(tile_leaf_ids)
+                leftmost = root.index << (root.level - leaf_lvl)
+                for i in tlist:
+                    if nodes[i].is_hat_leaf:
+                        tile_leaf_ids.append(i)
+                for i in tlist:
+                    v = nodes[i]
+                    h = v.level - leaf_lvl
+                    tile_off[i] = base + ((v.index << h) - leftmost)
+                    tile_len[i] = 1 << h
+            return rid
+
+        visit_tree(hat.root)
+
+        location = np.fromiter(
+            (-1 if v.location is None else v.location for v in nodes),
+            dtype=np.int64,
+            count=len(nodes),
+        )
+        agg_obj = np.empty(len(nodes), dtype=object)
+        for i, v in enumerate(nodes):
+            agg_obj[i] = v.agg
+        agg_kernel = kernel_for(hat.semigroup)
+        agg_mat = None
+        if agg_kernel is not None:
+            try:
+                agg_mat = agg_kernel.encode([v.agg for v in nodes])
+            except (TypeError, ValueError):
+                agg_kernel = None
+        return cls(
+            d=d,
+            leaf_level=leaf_lvl,
+            dim=np.fromiter((v.dim for v in nodes), np.int64, len(nodes)),
+            lo=np.fromiter((v.lo for v in nodes), np.int64, len(nodes)),
+            hi=np.fromiter((v.hi for v in nodes), np.int64, len(nodes)),
+            nleaves=np.fromiter((v.nleaves for v in nodes), np.int64, len(nodes)),
+            leaf=np.fromiter((v.is_hat_leaf for v in nodes), bool, len(nodes)),
+            last_dim=np.fromiter((v.dim == d - 1 for v in nodes), bool, len(nodes)),
+            left=np.asarray(left, dtype=np.int64),
+            right=np.asarray(right, dtype=np.int64),
+            desc=np.asarray(desc, dtype=np.int64),
+            location=location,
+            tile_off=np.asarray(tile_off, dtype=np.int64),
+            tile_len=np.asarray(tile_len, dtype=np.int64),
+            tile_leaf_ids=np.asarray(tile_leaf_ids, dtype=np.int64),
+            paths=Ragged.from_rows([flatten_path(v.path) for v in nodes]),
+            agg_obj=agg_obj,
+            agg_kernel=agg_kernel,
+            agg_mat=agg_mat,
+        )
+
+    @property
+    def size_nodes(self) -> int:
+        return len(self.dim)
+
+    def walk_batch(
+        self,
+        qlo: int,
+        boxes: Sequence[RankBox],
+        collect: "bool | Collection[int]",
+    ) -> Tuple[RecordBatch, RecordBatch, np.ndarray]:
+        """Search step 1 for a whole query slice at once.
+
+        Returns ``(selections, routing, visits)``: a
+        ``dist.hat_selection_cols`` batch of the dimension-``d``
+        selections (leaf tilings materialized only for queries in
+        ``collect``), a ``dist.search.routing`` batch of the surviving
+        subqueries (byte-identical to the per-record pack), and the
+        per-query visited-node counts for Theorem 3 ``charge``
+        accounting (empty boxes visit nothing, as on the object path).
+        """
+        nq = len(boxes)
+        d = self.d
+        if nq:
+            los = np.asarray([b.los for b in boxes], dtype=np.int64)
+            his = np.asarray([b.his for b in boxes], dtype=np.int64)
+        else:
+            los = np.zeros((0, d), dtype=np.int64)
+            his = np.zeros((0, d), dtype=np.int64)
+        if isinstance(collect, bool):
+            cmask = np.full(nq, collect, dtype=bool)
+        else:
+            ids = np.fromiter(collect, np.int64, len(collect))
+            cmask = np.isin(qlo + np.arange(nq, dtype=np.int64), ids)
+        visits = np.zeros(nq, dtype=np.int64)
+
+        # frontier: parallel (query, node) arrays; roots of non-empty boxes
+        fq = np.nonzero((los <= his).all(axis=1))[0] if nq else np.empty(0, np.int64)
+        fn = np.zeros(len(fq), dtype=np.int64)
+        sel_q: List[np.ndarray] = []
+        sel_n: List[np.ndarray] = []
+        sub_q: List[np.ndarray] = []
+        sub_n: List[np.ndarray] = []
+        while len(fq):
+            visits += np.bincount(fq, minlength=nq)
+            dims = self.dim[fn]
+            a = los[fq, dims]
+            b = his[fq, dims]
+            nlo = self.lo[fn]
+            nhi = self.hi[fn]
+            leaf = self.leaf[fn]
+            alive = ~((b < nlo) | (nhi < a))  # ~die
+            selm = alive & (a <= nlo) & (nhi <= b)
+            hit = selm & self.last_dim[fn]  # dimension-d selection
+            sub = alive & leaf & ~hit  # hat leaf: continue in the forest
+            down = selm & ~hit & ~leaf  # selected off the last dim: descend
+            split = alive & ~selm & ~leaf
+            if hit.any():
+                sel_q.append(fq[hit])
+                sel_n.append(fn[hit])
+            if sub.any():
+                sub_q.append(fq[sub])
+                sub_n.append(fn[sub])
+            fq = np.concatenate([fq[down], fq[split], fq[split]])
+            fn = np.concatenate(
+                [self.desc[fn[down]], self.left[fn[split]], self.right[fn[split]]]
+            )
+
+        sq = np.concatenate(sel_q) if sel_q else np.empty(0, np.int64)
+        sn = np.concatenate(sel_n) if sel_n else np.empty(0, np.int64)
+        order = np.lexsort((sn, sq))
+        sq, sn = sq[order], sn[order]
+        uq = np.concatenate(sub_q) if sub_q else np.empty(0, np.int64)
+        un = np.concatenate(sub_n) if sub_n else np.empty(0, np.int64)
+        order = np.lexsort((un, uq))
+        uq, un = uq[order], un[order]
+
+        # selections: tilings gathered as flat slices of the tree blocks
+        lens = np.where(cmask[sq], self.tile_len[sn], 0) if len(sq) else np.empty(0, np.int64)
+        offsets = np.zeros(len(sq) + 1, dtype=np.int64)
+        np.cumsum(lens, out=offsets[1:])
+        total = int(offsets[-1])
+        if total:
+            pos = (
+                np.arange(total, dtype=np.int64)
+                - np.repeat(offsets[:-1], lens)
+                + np.repeat(self.tile_off[sn], lens)
+            )
+            leaf_ids = self.tile_leaf_ids[pos]
+            loc_flat = self.location[leaf_ids]
+        else:
+            loc_flat = np.empty(0, dtype=np.int64)
+        sel_cols = {
+            "qid": qlo + sq,
+            "path": self.paths.take(sn),
+            "nleaves": self.nleaves[sn],
+            "agg": self.agg_obj[sn],
+            "locations": Ragged(loc_flat, offsets),
+        }
+        if self.agg_kernel is not None:
+            sel_cols["kenc"] = KernelColumn(self.agg_kernel, self.agg_mat[sn])
+        selections = RecordBatch("dist.hat_selection_cols", sel_cols, len(sq))
+
+        routing = RecordBatch(
+            "dist.search.routing",
+            {
+                "kind": np.zeros(len(uq), dtype=np.int64),
+                "qid": qlo + uq,
+                "los": los[uq],
+                "his": his[uq],
+                "forest_id": self.paths.take(un),
+                "location": self.location[un],
+            },
+            len(uq),
+        )
+        return selections, routing, visits

@@ -42,7 +42,7 @@ from typing import Any, List, Sequence, Tuple
 import numpy as np
 
 from ..cgm.columns import Ragged, RecordCodec, obj_col as _obj_col, register_codec
-from .labeling import Path, TreeId, tree_id_of
+from .labeling import Path, TreeId, make_path, tree_id_of
 
 __all__ = [
     "SRecord",
@@ -291,6 +291,50 @@ class HatSelectionCodec(RecordCodec):
         )
 
 
+class HatSelectionColsCodec(RecordCodec):
+    """Hat selections as the compiled walk packs them (no object column
+    for the tiling): ``locations`` is a ragged row per selection and the
+    ``forest_ids`` are *reconstructed arithmetically* on unpack — the
+    leaves under node ``(idx, lvl)`` are the contiguous heap range
+    ``[idx·2^h, (idx+1)·2^h)`` at level ``lvl − h`` of the same tree,
+    where ``2^h`` is the row width (Definition 2).  An optional ``kenc``
+    column carries the kernel-encoded aggregates for the typed fold
+    path; the ``agg`` object column stays authoritative for unpacking.
+    """
+
+    name = "dist.hat_selection_cols"
+    record_type = object  # HatSelectionRecord already claims its type
+
+    def pack(self, records):
+        return {
+            "qid": _int_col(r.qid for r in records),
+            "path": _path_col([r.path for r in records]),
+            "nleaves": _int_col(r.nleaves for r in records),
+            "agg": _obj_col([r.agg for r in records]),
+            "locations": Ragged.from_rows([r.locations for r in records]),
+        }
+
+    def unpack(self, cols, i):
+        path = unflatten_path(cols["path"].row(i))
+        loc_row = cols["locations"].row(i)
+        w = len(loc_row)
+        fids: Tuple[Path, ...] = ()
+        if w:
+            h = w.bit_length() - 1
+            idx, lvl = path[0]
+            base = idx << h
+            tid = path[1:]
+            fids = tuple(make_path(base + k, lvl - h, tid) for k in range(w))
+        return HatSelectionRecord(
+            qid=int(cols["qid"][i]),
+            path=path,
+            nleaves=int(cols["nleaves"][i]),
+            agg=cols["agg"][i],
+            forest_ids=fids,
+            locations=tuple(int(x) for x in loc_row),
+        )
+
+
 class SubqueryCodec(RecordCodec):
     name = "dist.subquery"
     record_type = Subquery
@@ -447,6 +491,7 @@ for _codec in (
     SRecordCodec(),
     ForestRootInfoCodec(),
     HatSelectionCodec(),
+    HatSelectionColsCodec(),
     SubqueryCodec(),
     ForestSelectionCodec(),
     ExpandRequestCodec(),

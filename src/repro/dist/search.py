@@ -79,11 +79,31 @@ from .records import (
 __all__ = ["SearchOutput", "run_search"]
 
 
-def _wants(flag: "bool | Collection[int]", qid: int) -> bool:
-    """Interpret a per-batch bool or a per-query id set uniformly."""
+def _normalize_flag(flag: "bool | Collection[int]") -> "bool | frozenset":
+    """Normalize a per-batch bool / per-query id collection once per phase.
+
+    Callers may pass any collection (list, set, range, dict keys); the
+    walk loops check membership per record, so the collection must be a
+    frozenset before the loop — never an O(n) scan inside it.
+    """
+    if isinstance(flag, bool):
+        return flag
+    return flag if isinstance(flag, frozenset) else frozenset(flag)
+
+
+def _wants(flag: "bool | frozenset", qid: int) -> bool:
+    """Interpret a normalized per-batch bool or per-query id set."""
     if isinstance(flag, bool):
         return flag
     return qid in flag
+
+
+def _flag_mask(flag: "bool | frozenset", qids: np.ndarray) -> np.ndarray:
+    """The normalized flag as a boolean mask over a qid column."""
+    if isinstance(flag, bool):
+        return np.full(len(qids), flag, dtype=bool)
+    ids = np.fromiter(flag, np.int64, len(flag))
+    return np.isin(np.asarray(qids), ids)
 
 
 def _holders_key(ns: str) -> str:
@@ -95,14 +115,17 @@ class SearchOutput:
     """Everything Algorithm Search leaves distributed over the machine.
 
     ``hat_selections[r]``/``forest_selections[r]`` are the records
-    produced at rank ``r``; ``owner_stores`` exposes the per-owner forest
-    stores so report mode can expand hat selections into point ids.  The
-    load-balancing observables of steps 2-4 (``demands`` per owner,
-    ``copy_counts``, per-processor subquery counts) are what the M1/S1
-    experiments and the Theorem 3 tests measure.
+    produced at rank ``r`` — on the columnar plane each is a lazy
+    :class:`~repro.cgm.columns.RecordBatch` whose rows unpack to the
+    same records the object walk emits; ``owner_stores`` exposes the
+    per-owner forest stores so report mode can expand hat selections
+    into point ids.  The load-balancing observables of steps 2-4
+    (``demands`` per owner, ``copy_counts``, per-processor subquery
+    counts) are what the M1/S1 experiments and the Theorem 3 tests
+    measure.
     """
 
-    hat_selections: List[List[HatSelectionRecord]]
+    hat_selections: "List[List[HatSelectionRecord] | RecordBatch]"
     forest_selections: List[List[ForestSelection]]
     owner_stores: Sequence[dict]
     demands: List[int] = field(default_factory=list)
@@ -124,6 +147,7 @@ def _phase_walk(ctx: ProcContext, payload) -> tuple:
     qlo, boxes, collect, ns = payload
     hat: Hat = ctx.state[hat_key(ns)]
     ctx.state[_holders_key(ns)] = {}
+    collect = _normalize_flag(collect)
     sels: List[HatSelectionRecord] = []
     subqs: List[Subquery] = []
     for i, box in enumerate(boxes):
@@ -181,31 +205,84 @@ def _pack_routing(records: Sequence[Any], d: int) -> RecordBatch:
     )
 
 
+def _expand_routing_cols(
+    selections: RecordBatch, expand: frozenset, d: int
+) -> "RecordBatch | None":
+    """Expansion requests for a packed selection batch (Search step 4).
+
+    Mirrors the object path exactly: one :class:`ExpandRequest` per
+    ``(forest_id, location)`` tiling entry of every selection whose qid
+    is in ``expand``, in batch row order — selections that carried no
+    tiling (``collect_leaves`` off for that query) emit nothing.  The
+    forest ids come from the same heap arithmetic the selection codec
+    unpacks with, so no record objects are built.
+    """
+    if not expand:
+        return None
+    sel_mask = _flag_mask(expand, selections.col("qid"))
+    rows = np.nonzero(sel_mask)[0]
+    if not len(rows):
+        return None
+    qid_col = selections.col("qid")
+    paths: Ragged = selections.col("path")
+    locs: Ragged = selections.col("locations")
+    out_qid: List[int] = []
+    out_loc: List[int] = []
+    fid_rows: List[List[int]] = []
+    for i in rows:
+        lrow = locs.row(i)
+        w = len(lrow)
+        if not w:
+            continue
+        prow = paths.row(i)
+        h = w.bit_length() - 1
+        base = int(prow[0]) << h
+        lvl = int(prow[1]) - h
+        tid = [int(x) for x in prow[2:]]
+        q = int(qid_col[i])
+        for k in range(w):
+            out_qid.append(q)
+            fid_rows.append([base + k, lvl] + tid)
+            out_loc.append(int(lrow[k]))
+    n = len(out_qid)
+    if not n:
+        return None
+    return RecordBatch(
+        "dist.search.routing",
+        {
+            "kind": np.full(n, RoutingCodec.KIND_EXPAND, dtype=np.int64),
+            "qid": np.asarray(out_qid, dtype=np.int64),
+            "los": np.zeros((n, d), dtype=np.int64),
+            "his": np.zeros((n, d), dtype=np.int64),
+            "forest_id": Ragged.from_rows(fid_rows),
+            "location": np.asarray(out_loc, dtype=np.int64),
+        },
+        n,
+    )
+
+
 @register_phase("dist.search.walk_cols")
 def _phase_walk_cols(ctx: ProcContext, payload) -> tuple:
-    """Step 1, columnar: walk the hat, return subqueries column-packed.
+    """Step 1, columnar: the *compiled* hat walk over the whole slice.
 
-    Selections stay per-record (their leaf tilings are ragged paths and
-    they never ride a sort); the surviving subquery set — the routed
-    traffic — leaves the rank as one batch, so the process backend
-    pickles a handful of arrays instead of ``O(m log^{d-1} p)`` objects.
+    One :meth:`~repro.dist.hat.CompiledHat.walk_batch` call classifies
+    every live ``(query, node)`` frontier pair with array comparisons
+    and returns both outputs column-packed — selections as a
+    ``dist.hat_selection_cols`` batch (lazy-unpacking to the records the
+    object walk emits, in the same order), subqueries as the routing
+    batch the step-4 exchange ships.  The per-query visit counts charge
+    the same Theorem 3 total as the object walk's per-query calls.
     """
     qlo, boxes, collect, ns, d = payload
     hat: Hat = ctx.state[hat_key(ns)]
     ctx.state[_holders_key(ns)] = {}
-    sels: List[HatSelectionRecord] = []
-    subqs: List[Subquery] = []
-    for i, box in enumerate(boxes):
-        qid = qlo + i
-        s, q = hat.walk(
-            qid,
-            box,
-            collect_leaves=_wants(collect, qid),
-            charge=ctx.charge,
-        )
-        sels.extend(s)
-        subqs.extend(q)
-    return sels, _pack_routing(subqs, d)
+    sels, routing, visits = hat.compiled().walk_batch(
+        qlo, boxes, _normalize_flag(collect)
+    )
+    total = int(visits.sum())
+    if total:
+        ctx.charge(total)
+    return sels, routing
 
 
 def _pack_selection_aggs(pairs: "List[Tuple[Any, int]]"):
@@ -273,6 +350,7 @@ def _phase_forest_cols(ctx: ProcContext, payload) -> tuple:
     his_m = inbox.col("his")
     fid_col = inbox.col("forest_id")
     loc_col = inbox.col("location")
+    want_mask = _flag_mask(_normalize_flag(collect_pids), qid_col)
 
     # Selection output, split by granularity: qid and forest id are
     # constant across one subquery's selections (fanned out by count at
@@ -314,7 +392,7 @@ def _phase_forest_cols(ctx: ProcContext, payload) -> tuple:
         box = RankBox(
             tuple(int(x) for x in los_m[i]), tuple(int(x) for x in his_m[i])
         )
-        want_pids = _wants(collect_pids, qid)
+        want_pids = bool(want_mask[i])
         sels = el.canonical_pairs(box, stats=stats)
         if sels:
             sq_qid.append(qid)
@@ -614,14 +692,19 @@ def _run_search_resident(
             gidx = offs_r[loc] + occ if n_r else np.empty(0, dtype=np.int64)
             copy = np.minimum(gidx // per_copy_arr[loc], tlen[loc] - 1)
             dest = tmat[loc, copy]
-            expands = [
-                ExpandRequest(qid=h.qid, forest_id=fid, location=loc_)
-                for h in hat_selections[r]
-                if h.qid in expand
-                for fid, loc_ in zip(h.forest_ids, h.locations)
-            ]
-            if expands:
-                exp_b = _pack_routing(expands, d)
+            hb = hat_selections[r]
+            if isinstance(hb, RecordBatch):
+                exp_b = _expand_routing_cols(hb, expand, d)
+            else:
+                # hand-seeded record lists (tests) keep the record path
+                expands = [
+                    ExpandRequest(qid=h.qid, forest_id=fid, location=loc_)
+                    for h in hb
+                    if h.qid in expand
+                    for fid, loc_ in zip(h.forest_ids, h.locations)
+                ]
+                exp_b = _pack_routing(expands, d) if expands else None
+            if exp_b is not None:
                 routed.append(RecordBatch.concat([subq_b, exp_b]))
                 dests.append(
                     np.concatenate([dest, np.asarray(exp_b.col("location"))])

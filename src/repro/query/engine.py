@@ -122,6 +122,13 @@ class _SelectionRow:
         return unflatten_path(self._cols["forest_id"].row(self.i))
 
     @property
+    def path(self):
+        # hat-selection batches name their path column "path"
+        from ..dist.records import unflatten_path
+
+        return unflatten_path(self._cols["path"].row(self.i))
+
+    @property
     def pid_tuple(self):
         return tuple(int(x) for x in self._cols["pid_tuple"].row(self.i))
 
@@ -608,34 +615,89 @@ class QueryEngine:
                 kvals = np.zeros((n, W), dtype=np.float64)
             return (qid_col, pid_col, val_col, kvals)
 
+        has_hv = np.fromiter(
+            (s.hat_value is not None for s in specs), dtype=bool, count=n_specs
+        )
+
+        def hat_part_cols(hb: RecordBatch) -> "tuple | None":
+            """Hat fold pieces straight from the compiled walk's columns.
+
+            Kernel-eligible queries gather their piece rows from the
+            batch's typed ``nleaves``/``kenc`` columns (one fancy index
+            per fold kind); only object-fold specs call ``hat_value``
+            per row, through the shared lazy row view.
+            """
+            hqid = np.asarray(hb.col("qid"))
+            hidx = np.nonzero(has_hv[hqid])[0]
+            if not len(hidx):
+                return None
+            hq_col = hqid[hidx]
+            nh = len(hidx)
+            h_val = np.empty(nh, dtype=object)
+            h_kval = np.zeros((nh, W), dtype=np.float64) if W else None
+            hg = (
+                kplan.gid[hq_col]
+                if kplan is not None
+                else np.full(nh, -1, dtype=np.int64)
+            )
+            row = _SelectionRow(hb.cols)
+            for at in np.nonzero(hg < 0)[0]:
+                q = int(hq_col[at])
+                row.i = int(hidx[at])
+                h_val[at] = (q, specs[q].hat_value(row))
+            if kplan is not None:
+                nlv = np.asarray(hb.col("nleaves"))
+                kenc = hb.cols.get("kenc")
+                for g, (kind, kern, off) in enumerate(kplan.kinds):
+                    pos = np.nonzero(hg == g)[0]
+                    if not len(pos):
+                        continue
+                    rows_idx = hidx[pos]
+                    if kind == "count":
+                        h_kval[pos, 0] = nlv[rows_idx]
+                    else:
+                        if not isinstance(kenc, KernelColumn):
+                            raise ProtocolError(
+                                "kernel fold planned over a hat batch "
+                                "without typed aggregates"
+                            )
+                        h_kval[pos, : kern.width] = kenc.component_rows(
+                            rows_idx, off, kern.width
+                        )
+            return part(hq_col, None, h_val, h_kval)
+
         batches: List[RecordBatch] = []
         for r in range(p):
             parts = []
-            # hat fold pieces (selection records; small per query)
-            hq: List[int] = []
-            hv: List[Any] = []
-            hk: List[Tuple[int, int, Any]] = []  # (row, gid, value)
-            for h in out.hat_selections[r]:
-                spec = specs[h.qid]
-                if spec.hat_value is None:
-                    continue
-                g = int(kplan.gid[h.qid]) if kplan is not None else -1
-                if g >= 0:
-                    hk.append((len(hq), g, spec.hat_value(h)))
-                    hq.append(h.qid)
-                    hv.append(None)
-                else:
-                    hq.append(h.qid)
-                    hv.append((h.qid, spec.hat_value(h)))
-            hkv = None
-            if hk and W:
-                hkv = np.zeros((len(hq), W), dtype=np.float64)
-                for g, (_kind, kern, _off) in enumerate(kplan.kinds):
-                    rows = [(at, v) for at, gg, v in hk if gg == g]
-                    if rows:
-                        enc = kern.encode([v for _at, v in rows])
-                        hkv[[at for at, _v in rows], : kern.width] = enc
-            parts.append(part(hq, None, hv, hkv))
+            hb = out.hat_selections[r]
+            if isinstance(hb, RecordBatch):
+                parts.append(hat_part_cols(hb))
+            else:
+                # hat fold pieces from record lists (hand-seeded tests)
+                hq: List[int] = []
+                hv: List[Any] = []
+                hk: List[Tuple[int, int, Any]] = []  # (row, gid, value)
+                for h in hb:
+                    spec = specs[h.qid]
+                    if spec.hat_value is None:
+                        continue
+                    g = int(kplan.gid[h.qid]) if kplan is not None else -1
+                    if g >= 0:
+                        hk.append((len(hq), g, spec.hat_value(h)))
+                        hq.append(h.qid)
+                        hv.append(None)
+                    else:
+                        hq.append(h.qid)
+                        hv.append((h.qid, spec.hat_value(h)))
+                hkv = None
+                if hk and W:
+                    hkv = np.zeros((len(hq), W), dtype=np.float64)
+                    for g, (_kind, kern, _off) in enumerate(kplan.kinds):
+                        rows = [(at, v) for at, gg, v in hk if gg == g]
+                        if rows:
+                            enc = kern.encode([v for _at, v in rows])
+                            hkv[[at for at, _v in rows], : kern.width] = enc
+                parts.append(part(hq, None, hv, hkv))
             fb = out.forest_selections[r]
             if len(fb):
                 fqid = np.asarray(fb.col("qid"))
@@ -680,9 +742,9 @@ class QueryEngine:
                                         "kernel fold planned over an "
                                         "object-typed selection column"
                                     )
-                                f_kval[pos, : kern.width] = agg_col.data[
-                                    rows_idx, off : off + kern.width
-                                ]
+                                f_kval[pos, : kern.width] = agg_col.component_rows(
+                                    rows_idx, off, kern.width
+                                )
                     parts.append(part(fq_col, None, f_val, f_kval))
                 ridx = np.nonzero(rep)[0]
                 if len(ridx):

@@ -562,6 +562,19 @@ class KernelColumn:
     def repeat(self, k: int) -> "KernelColumn":
         return KernelColumn(self.kernel, np.repeat(self.data, k, axis=0))
 
+    def component_rows(
+        self, idx: np.ndarray, offset: int = 0, width: "int | None" = None
+    ) -> np.ndarray:
+        """Raw encoded rows of one component slice, gathered by row index.
+
+        The demux gathers fold pieces from the typed storage without
+        decoding: ``offset``/``width`` select one component's columns of
+        a product-encoded matrix (the whole width by default).  Returns
+        a ``(len(idx), width)`` view-copy in this column's dtype.
+        """
+        w = self.kernel.width - offset if width is None else width
+        return self.data[np.asarray(idx, dtype=_I64), offset : offset + w]
+
     @classmethod
     def concat(cls, cols: Sequence["KernelColumn"]) -> "KernelColumn":
         return cls(cols[0].kernel, np.concatenate([c.data for c in cols]))

@@ -217,6 +217,39 @@ class TestCodecRoundTrips:
             == sels
         )
 
+    def test_hat_selection_cols_roundtrip(self):
+        """The compiled-walk selection pack reconstructs forest ids
+        arithmetically: leaves under (idx, lvl) are the heap range
+        [idx·2^h, (idx+1)·2^h) at level lvl − h of the same tree."""
+        sels = [
+            HatSelectionRecord(
+                qid=3,
+                path=((2, 3), (7, 5)),
+                nleaves=16,
+                agg=(1.0, 2),
+                # h = 1: leaves 4 and 5 at level 2, same tree id
+                forest_ids=(((4, 2), (7, 5)), ((5, 2), (7, 5))),
+                locations=(0, 1),
+            ),
+            HatSelectionRecord(qid=0, path=((1, 5), (1, 6)), nleaves=4),
+            HatSelectionRecord(
+                qid=1,
+                path=((3, 2),),
+                nleaves=1,
+                agg=None,
+                # h = 0: a hat leaf tiles itself
+                forest_ids=(((3, 2),),),
+                locations=(2,),
+            ),
+        ]
+        assert (
+            RecordBatch.from_records("dist.hat_selection_cols", sels).to_records()
+            == sels
+        )
+
+    def test_every_registered_codec_exercised_includes_hat_cols(self):
+        assert "dist.hat_selection_cols" in set(registered_codecs())
+
     @pytest.mark.parametrize("d", [1, 2, 3])
     @settings(max_examples=20, deadline=None)
     @given(data=st.data())
@@ -256,6 +289,7 @@ class TestCodecRoundTrips:
             "dist.srecord",
             "dist.forest_root_info",
             "dist.hat_selection",
+            "dist.hat_selection_cols",
             "dist.subquery",
             "dist.forest_selection",
             "dist.expand_request",

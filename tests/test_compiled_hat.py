@@ -1,0 +1,253 @@
+"""Compiled hat ≡ object hat walk, bit for bit.
+
+The compiled walk (:meth:`repro.dist.hat.CompiledHat.walk_batch`) must
+reproduce :meth:`repro.dist.hat.Hat.walk` exactly — same selections in
+the same order, same subqueries, same per-query visit counts — because
+the columnar plane's whole A/B guarantee (answers, rounds, charged ops
+identical across planes) rests on step 1 emitting the same stream.
+These tests pin the walk-level identity directly, the plane-level
+identity through the engine, and the cache discipline around refits.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cgm.columns import RecordBatch, dataplane
+from repro.dist import DistributedRangeTree
+from repro.dist.search import _pack_routing
+from repro.geometry.box import RankBox
+from repro.query import QueryBatch, aggregate, count, report
+from repro.semigroup import sum_of_dim
+from repro.workloads import make_points, uniform_points
+
+from tests.helpers import random_boxes
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def _rank_boxes(rng, nq: int, d: int, n: int) -> list:
+    """Random rank boxes biased toward the edge cases of the four-case
+    walk: empty (lo > hi), degenerate (lo == hi), and full-span."""
+    out = []
+    for _ in range(nq):
+        los, his = [], []
+        for _dim in range(d):
+            kind = int(rng.integers(0, 10))
+            if kind == 0:
+                lo, hi = 3, 1  # empty
+            elif kind == 1:
+                lo = hi = int(rng.integers(0, n))  # degenerate
+            elif kind == 2:
+                lo, hi = 0, n - 1  # full span
+            else:
+                a, b = int(rng.integers(0, n)), int(rng.integers(0, n))
+                lo, hi = min(a, b), max(a, b)
+            los.append(lo)
+            his.append(hi)
+        out.append(RankBox(tuple(los), tuple(his)))
+    return out
+
+
+def _mixed_batch(boxes) -> QueryBatch:
+    cycle = [count, report, lambda b: aggregate(b, sum_of_dim(0))]
+    return QueryBatch([cycle[i % 3](b) for i, b in enumerate(boxes)])
+
+
+class TestWalkBatchBitIdentity:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    @pytest.mark.parametrize("collect", [False, True, "some"])
+    def test_matches_object_walk(self, d, collect):
+        # 48 points pad to n=64 with sentinel pids in the forest
+        pts = uniform_points(48, d, seed=10 + d)
+        with DistributedRangeTree.build(pts, p=4) as tree:
+            hat = tree.hat
+            rng = np.random.default_rng(20 + d)
+            boxes = _rank_boxes(rng, 30, d, hat.n)
+            qlo = 5
+            cflag = (
+                frozenset(qlo + i for i in range(0, 30, 3))
+                if collect == "some"
+                else collect
+            )
+            exp_sels, exp_subqs, charges = [], [], []
+            for i, box in enumerate(boxes):
+                qid = qlo + i
+                got: list[int] = []
+                want = cflag if isinstance(cflag, bool) else qid in cflag
+                s, q = hat.walk(
+                    qid, box, collect_leaves=want, charge=got.append
+                )
+                exp_sels.extend(s)
+                exp_subqs.extend(q)
+                charges.append(sum(got))
+            sel_b, routing_b, visits = hat.compiled().walk_batch(
+                qlo, boxes, cflag
+            )
+            # records: same selections and subqueries, same order
+            assert list(sel_b) == exp_sels
+            assert list(routing_b) == exp_subqs
+            # charge accounting: per-query visit counts match exactly
+            assert [int(v) for v in visits] == charges
+            # routing bytes: column-for-column identical to the record pack
+            ref = _pack_routing(exp_subqs, d)
+            for name in ("kind", "qid", "los", "his", "location"):
+                np.testing.assert_array_equal(
+                    np.asarray(routing_b.col(name)), np.asarray(ref.col(name))
+                )
+            for attr in ("flat", "offsets"):
+                np.testing.assert_array_equal(
+                    getattr(routing_b.col("forest_id"), attr),
+                    getattr(ref.col("forest_id"), attr),
+                )
+
+    def test_empty_slice(self):
+        pts = uniform_points(32, 2, seed=9)
+        with DistributedRangeTree.build(pts, p=4) as tree:
+            sel_b, routing_b, visits = tree.hat.compiled().walk_batch(
+                0, [], False
+            )
+            assert len(sel_b) == 0 and len(routing_b) == 0
+            assert len(visits) == 0
+
+
+class TestSearchOutputParity:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_planes_agree_on_search_output(self, d):
+        pts = make_points("uniform", 48, d, seed=500 + d)
+        boxes = random_boxes(np.random.default_rng(600 + d), 10, d)
+        results = {}
+        for plane in ("object", "columnar"):
+            with dataplane(plane):
+                with DistributedRangeTree.build(pts, p=4) as tree:
+                    out = tree.search(boxes, collect_leaves=True)
+                    walk_ops = [
+                        s.ops
+                        for s in tree.metrics.steps
+                        if s.label == "search:walk"
+                    ]
+                    results[plane] = (
+                        [list(per) for per in out.hat_selections],
+                        [list(per) for per in out.forest_selections],
+                        out.demands,
+                        out.copy_counts,
+                        out.subqueries_per_proc,
+                        out.total_subqueries,
+                        walk_ops,
+                    )
+        assert results["columnar"] == results["object"]
+
+    def test_compiled_is_columnar_default(self):
+        pts = uniform_points(32, 2, seed=11)
+        with DistributedRangeTree.build(pts, p=4) as tree:
+            out = tree.search(
+                random_boxes(np.random.default_rng(12), 4, 2)
+            )
+            assert all(
+                isinstance(per, RecordBatch) for per in out.hat_selections
+            )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_engine_parity_across_planes_per_backend(self, backend):
+        """The compiled walk keeps the plane A/B bit-identical on every
+        backend (answers, rounds, charged ops; bytes accounting exempt)."""
+        pts = make_points("clustered", 48, 2, seed=77)
+        boxes = random_boxes(np.random.default_rng(78), 9, 2)
+        fingerprints = {}
+        for plane in ("object", "columnar"):
+            with dataplane(plane):
+                with DistributedRangeTree.build(
+                    pts, p=4, backend=backend
+                ) as tree:
+                    rs = tree.run(_mixed_batch(boxes))
+                    payload = rs.to_dict()
+                    payload.pop("wall_seconds")
+                    fingerprints[plane] = json.dumps(
+                        _strip_bytes(payload), sort_keys=True
+                    )
+        assert fingerprints["object"] == fingerprints["columnar"]
+
+
+def _strip_bytes(obj):
+    if isinstance(obj, dict):
+        return {
+            k: _strip_bytes(v) for k, v in obj.items() if k != "comm_bytes"
+        }
+    if isinstance(obj, list):
+        return [_strip_bytes(v) for v in obj]
+    return obj
+
+
+class TestCompileCache:
+    def test_compile_is_cached(self):
+        pts = uniform_points(32, 2, seed=3)
+        with DistributedRangeTree.build(pts, p=4) as tree:
+            c1 = tree.hat.compiled()
+            assert tree.hat.compiled() is c1
+
+    def test_refit_invalidates_compiled_cache(self):
+        """A refit must never leave stale compiled aggregates behind."""
+        pts = uniform_points(32, 2, seed=4)
+        with DistributedRangeTree.build(pts, p=4) as tree:
+            hat = tree.hat
+            c1 = hat.compiled()
+            boxes = random_boxes(np.random.default_rng(5), 6, 2)
+            batch = QueryBatch(
+                [aggregate(b, sum_of_dim(0)) for b in boxes]
+            )
+            rs_cols = tree.run(batch)  # refits → invalidates → recompiles
+            assert hat.compiled() is not c1
+            with dataplane("object"):
+                rs_obj = tree.run(batch)
+            assert rs_cols.values() == rs_obj.values()
+
+    def test_refresh_aggregates_clears_cache_directly(self):
+        pts = uniform_points(32, 2, seed=6)
+        with DistributedRangeTree.build(pts, p=4) as tree:
+            hat = tree.hat
+            hat.compiled()
+            hat.refresh_aggregates(
+                list(tree.construct_result.roots), hat.semigroup
+            )
+            assert hat._compiled is None
+
+
+class TestMemoizedTilings:
+    def test_forest_leaves_under_is_memoized(self):
+        pts = uniform_points(64, 2, seed=8)
+        with DistributedRangeTree.build(pts, p=8) as tree:
+            hat = tree.hat
+            node = next(
+                v
+                for v in hat.iter_nodes()
+                if v.dim == hat.d - 1 and not v.is_hat_leaf
+            )
+            first = hat.forest_leaves_under(node)
+            assert hat.forest_leaves_under(node) is first
+            # and the tiling is still correct: leaves left to right
+            assert all(l.is_hat_leaf for l in first)
+            assert [l.index for l in first] == sorted(l.index for l in first)
+
+    def test_compiled_tilings_match_object_tilings(self):
+        pts = uniform_points(64, 2, seed=13)
+        with DistributedRangeTree.build(pts, p=8) as tree:
+            hat = tree.hat
+            comp = hat.compiled()
+            for i in range(comp.size_nodes):
+                if not comp.last_dim[i]:
+                    continue
+                node = hat.nodes_by_path[
+                    tuple(
+                        (int(a), int(b))
+                        for a, b in zip(*[iter(comp.paths.row(i))] * 2)
+                    )
+                ]
+                leaves = hat.forest_leaves_under(node)
+                off, ln = int(comp.tile_off[i]), int(comp.tile_len[i])
+                got = comp.tile_leaf_ids[off : off + ln]
+                assert [
+                    int(comp.location[j]) for j in got
+                ] == [l.location for l in leaves]

@@ -80,6 +80,44 @@ class TestCrossBackendDeterminism:
         b = _fingerprint("process", 2, "uniform")
         assert a == b
 
+    @pytest.mark.parametrize("d", [1, 2])
+    def test_compiled_walk_bit_identical_across_backends(self, d):
+        """The columnar fingerprint above runs the *compiled* hat walk
+        (the columnar-plane default); pin that against the object plane
+        too, so a compiled-walk divergence can't hide behind a matching
+        cross-backend comparison that is wrong on every backend."""
+        from repro.cgm.columns import dataplane
+
+        base = None
+        for backend in BACKENDS:
+            for plane in ("columnar", "object"):
+                with dataplane(plane):
+                    payload, _trace, sizes = _fingerprint(
+                        backend, d, "uniform"
+                    )
+                # traces differ across planes only in byte accounting;
+                # answers, rounds and charged ops live in the payload
+                stripped = json.dumps(
+                    _strip_comm_bytes(json.loads(payload)), sort_keys=True
+                )
+                if base is None:
+                    base = (stripped, sizes)
+                assert (stripped, sizes) == base, (
+                    f"{backend}/{plane} diverges from serial/columnar"
+                )
+
+
+def _strip_comm_bytes(obj):
+    if isinstance(obj, dict):
+        return {
+            k: _strip_comm_bytes(v)
+            for k, v in obj.items()
+            if k != "comm_bytes"
+        }
+    if isinstance(obj, list):
+        return [_strip_comm_bytes(v) for v in obj]
+    return obj
+
 
 def _dynamic_fingerprint(backend: str, d: int = 2) -> tuple:
     """Replay one fixed update/query stream; fingerprint every checkpoint.
