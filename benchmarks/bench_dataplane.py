@@ -159,6 +159,9 @@ def run_bench() -> dict:
         r["walk_speedup_vs_object"] = round(
             base["walk_seconds"] / max(r["walk_seconds"], 1e-9), 3
         )
+        r["forest_speedup_vs_object"] = round(
+            base["forest_seconds"] / max(r["forest_seconds"], 1e-9), 3
+        )
         r["answers_match_object"] = (
             r["answer_checksum"] == base["answer_checksum"]
         )
@@ -202,6 +205,19 @@ def run_bench() -> dict:
             "best_walk_speedup": max(
                 r["walk_speedup_vs_object"] for r in columnar_rows
             ),
+            # the compiled forest walk's win (Search step 5, the
+            # dominant post-PR-8 cost): same full-sweep discipline
+            "min_forest_speedup_at_m2048": min(
+                (
+                    r["forest_speedup_vs_object"]
+                    for r in columnar_rows
+                    if r["m"] >= 2048
+                ),
+                default=None,
+            ),
+            "best_forest_speedup": max(
+                r["forest_speedup_vs_object"] for r in columnar_rows
+            ),
             # every non-empty search/demux round carries a bytes figure
             # (padding rounds of the doubling schedule legitimately move 0)
             "search_rounds_with_bytes": all(
@@ -231,6 +247,9 @@ def test_dataplane_bench(benchmark):
         # PR 8 acceptance: the compiled walk at least halves the
         # walk-phase seconds on every m = 2048 config
         assert summary["min_walk_speedup_at_m2048"] >= 2.0
+        # PR 9 acceptance: the compiled forest does the same for the
+        # forest-phase seconds (Search step 5)
+        assert summary["min_forest_speedup_at_m2048"] >= 2.0
 
 
 if __name__ == "__main__":
@@ -241,8 +260,10 @@ if __name__ == "__main__":
             f"construct {row['construct_seconds']}s "
             f"search {row['search_seconds']}s "
             f"walk {row['walk_seconds']}s "
+            f"forest {row['forest_seconds']}s "
             f"(pipeline x{row['pipeline_speedup_vs_object']}, "
-            f"walk x{row['walk_speedup_vs_object']} vs object)"
+            f"walk x{row['walk_speedup_vs_object']}, "
+            f"forest x{row['forest_speedup_vs_object']} vs object)"
         )
     print(json.dumps(results["summary"], indent=2))
     print(f"wrote {OUTPUT}")

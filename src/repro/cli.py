@@ -356,7 +356,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 )
                 last_rs = dyn.run(batch)
                 counts = last_rs.values()[: len(op.boxes)]
-                truth = [oracle.count(b) for b in op.boxes]
+                truth = oracle.count_many(op.boxes)
                 ok = counts == truth
                 mismatches += 0 if ok else 1
                 print(

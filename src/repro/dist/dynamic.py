@@ -400,9 +400,13 @@ class DynamicDistributedRangeTree:
             pts, machine=self.machine, semigroup=self.semigroup
         )
         if columnar_enabled():
-            # warm the bucket's compiled hat once at absorption — every
-            # epoch's query batches reuse it until the next refit
+            # warm the bucket's compiled hat and forest once at
+            # absorption — every epoch's query batches reuse them until
+            # the next refit
             tree.hat.compiled()
+            for store in tree.forest_store:
+                for el in store.values():
+                    el.compiled()
         self._buckets[k] = _Bucket(
             level=k,
             tree=tree,

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..semigroup import Semigroup
 from ..semigroup.kernels import KernelColumn
+from ..seq.compiled import CompiledForest
 from ..seq.range_tree import CanonicalSelection, RangeTree
 from ..seq.segment_tree import WalkStats
 from .labeling import Path
@@ -52,6 +53,8 @@ class ForestElement:
         "semigroup",
         "tree",
         "_pids_arr",
+        "_all_pids_arr",
+        "_pid_block",
     )
 
     def __init__(
@@ -79,6 +82,26 @@ class ForestElement:
         self.semigroup = semigroup
         self.tree = RangeTree(self.ranks, self.values, semigroup, start_dim=dim)
         self._pids_arr: "np.ndarray | None" = None
+        self._all_pids_arr: "np.ndarray | None" = None
+        self._pid_block: "np.ndarray | None" = None
+
+    _CACHE_SLOTS = ("_pids_arr", "_all_pids_arr", "_pid_block")
+
+    def __getstate__(self):
+        # replication ships elements by pickle; the gather caches (and,
+        # through the tree's own __getstate__, the compiled lowering)
+        # rebuild on the receiving rank instead of traveling
+        return {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name not in self._CACHE_SLOTS
+        }
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        for name in self._CACHE_SLOTS:
+            setattr(self, name, None)
 
     # ------------------------------------------------------------------
     # structure
@@ -130,6 +153,20 @@ class ForestElement:
         """:meth:`canonical` as raw ``(tree, node)`` pairs (batched path)."""
         return self.tree.canonical_pairs(box, stats=stats)
 
+    def compiled(self) -> CompiledForest:
+        """The element tree's struct-of-arrays lowering (cached on the
+        tree, invalidated by :meth:`reannotate`)."""
+        return self.tree.compiled()
+
+    @property
+    def pid_block(self) -> np.ndarray:
+        """Point ids tiled per compiled node: selection ``j``'s pids are
+        ``pid_block[row_off[j] : row_off[j] + nleaves[j]]`` — pure offset
+        arithmetic at walk time, no per-selection ``rows_under`` calls."""
+        if self._pid_block is None:
+            self._pid_block = self.pids_array[self.compiled().row_block]
+        return self._pid_block
+
     @property
     def pids_array(self) -> np.ndarray:
         """The pids as an int64 array (cached; the columnar gather path)."""
@@ -150,8 +187,11 @@ class ForestElement:
         return tuple(self.pids[r] for r in self.tree.root_tree.order)
 
     def all_pids_array(self) -> np.ndarray:
-        """Array twin of :meth:`all_pids` (the in-pass expansion gather)."""
-        return self.pids_array[self.tree.root_tree.order]
+        """Array twin of :meth:`all_pids` (the in-pass expansion gather,
+        memoized — expand requests for one element repeat across passes)."""
+        if self._all_pids_arr is None:
+            self._all_pids_arr = self.pids_array[self.tree.root_tree.order]
+        return self._all_pids_arr
 
     # ------------------------------------------------------------------
     # re-annotation (Algorithm AssociativeFunction step 1)
@@ -166,6 +206,9 @@ class ForestElement:
             values if isinstance(values, KernelColumn) else list(values)
         )
         self.semigroup = semigroup
+        # invalidates the tree's compiled lowering; drop the pid tiling
+        # too so it re-derives from the fresh compile
+        self._pid_block = None
         self.tree.reannotate(self.values, semigroup)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -61,10 +61,10 @@ from ..cgm.loadbalance import (
 from ..cgm.machine import Machine
 from ..cgm.phases import ProcContext, register_phase
 from ..errors import ProtocolError
-from ..semigroup.kernels import KernelAggs, KernelColumn
 from ..geometry.box import RankBox
 from ..seq.segment_tree import WalkStats
 from .construct import forest_key, hat_key
+from .forest_compiled import batched_forest_selections
 from .hat import Hat
 from .records import (
     ExpandRequest,
@@ -285,59 +285,23 @@ def _phase_walk_cols(ctx: ProcContext, payload) -> tuple:
     return sels, routing
 
 
-def _pack_selection_aggs(pairs: "List[Tuple[Any, int]]"):
-    """The selection ``agg`` column from ``(aggs store, node)`` picks.
-
-    When every pick reads a :class:`~repro.semigroup.kernels.KernelAggs`
-    store of one kernel — the invariant on a kernel-plane tree, since a
-    namespace is annotated under a single plane — the column is a typed
-    :class:`KernelColumn` gathered row by row, never decoding a value;
-    any other mix falls back to an object column of decoded values.
-    """
-    n = len(pairs)
-    if n:
-        first = pairs[0][0]
-        k0 = first.kernel if isinstance(first, KernelAggs) else None
-        if k0 is not None:
-            # group picks by the shared heap block so each group is one
-            # fancy-index gather instead of a row copy per selection
-            groups: dict = {}
-            uniform = True
-            for pos, (a, node) in enumerate(pairs):
-                # identity fast path: one construct/refit shares one kernel
-                ak = a.kernel if isinstance(a, KernelAggs) else None
-                if ak is not k0 and ak != k0:
-                    uniform = False
-                    break
-                g = groups.get(id(a.block))
-                if g is None:
-                    groups[id(a.block)] = g = (a.block, [], [], [])
-                g[1].append(pos)
-                g[2].append(a.plane)
-                g[3].append(node)
-            if uniform:
-                mat = np.empty((n, k0.width), dtype=k0.dtype)
-                for blk, positions, planes, nodes in groups.values():
-                    mat[positions] = blk[planes, nodes]
-                return KernelColumn(k0, mat)
-    col = np.empty(n, dtype=object)
-    for i, (a, node) in enumerate(pairs):
-        col[i] = a[node]
-    return col
-
-
 @register_phase("dist.search.forest_cols")
 def _phase_forest_cols(ctx: ProcContext, payload) -> tuple:
-    """Step 5, columnar: walk resident elements, emit packed selections.
+    """Step 5, columnar: *compiled* batched walks over resident elements.
 
     The inbox is one routing batch (subqueries and expansion requests
-    mixed, source-ordered); the outputs — dimension-``d`` selections and
-    in-pass report pairs — leave as column packs built directly from the
-    walk, no intermediate record objects.  ``collect_pids`` (bool or qid
+    mixed, source-ordered).  Subqueries group by target element and each
+    group runs one :meth:`~repro.seq.compiled.CompiledForest.walk` —
+    level-by-level frontier expansion over the element's lowered arrays
+    — then :func:`~repro.dist.forest_compiled.batched_forest_selections`
+    packs every group's selections straight into the
+    ``dist.forest_selection`` columns, restored to inbox-row order (the
+    object loop's exact output order).  ``collect_pids`` (bool or qid
     set) limits pid materialization to the queries whose output mode
     consumes point ids: fold-family selections carry an empty
     ``pid_tuple``, saving the per-leaf gather for every count/aggregate
-    subquery.
+    subquery.  Charged visit totals match the per-subquery object walk
+    exactly (``max(1, visits)`` per subquery, ``nleaves`` per expand).
     """
     inbox, ns, collect_pids = payload
     r = ctx.rank
@@ -345,117 +309,66 @@ def _phase_forest_cols(ctx: ProcContext, payload) -> tuple:
     holders = ctx.state.get(_holders_key(ns)) or {}
 
     kind = inbox.col("kind")
-    qid_col = inbox.col("qid")
-    los_m = inbox.col("los")
-    his_m = inbox.col("his")
+    qid_col = np.asarray(inbox.col("qid"))
+    los_m = np.asarray(inbox.col("los"))
+    his_m = np.asarray(inbox.col("his"))
     fid_col = inbox.col("forest_id")
     loc_col = inbox.col("location")
     want_mask = _flag_mask(_normalize_flag(collect_pids), qid_col)
 
-    # Selection output, split by granularity: qid and forest id are
-    # constant across one subquery's selections (fanned out by count at
-    # the end), while leaf counts, aggregates and pid rows vary per
-    # selection.  ``sel_agg`` keeps ``(aggs store, node)`` picks so
-    # typed (kernel) stores emit a typed column without decoding.
-    sq_qid: List[int] = []
-    sq_fid: List[List[int]] = []
-    sq_nsel: List[int] = []
-    sel_nleaves: List[int] = []
-    sel_agg: List[Tuple[Any, int]] = []
-    sel_pids: List[Any] = []
-    any_pids = False
+    # One pass over the inbox: expansions run in place (row order), and
+    # subquery rows bucket by target element — store resolution happens
+    # at each element's first row, so a missing copy raises at the same
+    # row the record-at-a-time loop would have raised at.
     pair_qids: List[np.ndarray] = []
     pair_pids: List[np.ndarray] = []
-
+    group_rows: dict = {}
+    group_order: List[Tuple[Any, List[int]]] = []
     for i in range(len(inbox)):
         fid_flat = fid_col.row(i)
-        qid = int(qid_col[i])
         if int(kind[i]) == RoutingCodec.KIND_EXPAND:
             # Owners always keep their own store; expand in place.
             el = forest[unflatten_path(fid_flat)]
             pids = el.all_pids_array()
             pids = pids[pids >= 0]
-            pair_qids.append(np.full(len(pids), qid, dtype=np.int64))
+            pair_qids.append(
+                np.full(len(pids), int(qid_col[i]), dtype=np.int64)
+            )
             pair_pids.append(pids)
             ctx.charge(el.nleaves)
             continue
         location = int(loc_col[i])
-        store = forest if location == r else holders.get(location)
-        fid = unflatten_path(fid_flat)
-        if store is None or fid not in store:
-            raise ProtocolError(
-                f"rank {r} received subquery for {fid} "
-                f"without holding a copy of group {location}"
-            )
-        el = store[fid]
-        stats = WalkStats()
-        box = RankBox(
-            tuple(int(x) for x in los_m[i]), tuple(int(x) for x in his_m[i])
-        )
-        want_pids = bool(want_mask[i])
-        sels = el.canonical_pairs(box, stats=stats)
-        if sels:
-            sq_qid.append(qid)
-            sq_fid.append(list(fid_flat))
-            sq_nsel.append(len(sels))
-            for tree, node in sels:
-                sel_nleaves.append(tree.seg.m >> (node.bit_length() - 1))
-                sel_agg.append((tree.aggs, node))
-            if want_pids:
-                any_pids = True
-                pid_arr = el.pids_array
-                sel_pids.extend(
-                    pid_arr[tree.rows_under(node)] for tree, node in sels
+        key = (location, fid_flat.tobytes())
+        rows = group_rows.get(key)
+        if rows is None:
+            store = forest if location == r else holders.get(location)
+            fid = unflatten_path(fid_flat)
+            if store is None or fid not in store:
+                raise ProtocolError(
+                    f"rank {r} received subquery for {fid} "
+                    f"without holding a copy of group {location}"
                 )
-            else:
-                sel_pids.extend([()] * len(sels))
-        ctx.charge(max(1, stats.nodes_visited))
+            group_rows[key] = rows = []
+            group_order.append((store[fid], rows))
+        rows.append(i)
 
-    nsel = len(sel_nleaves)
-    agg_col = _pack_selection_aggs(sel_agg)
-    counts = np.asarray(sq_nsel, dtype=np.int64)
-    qid_arr = (
-        np.repeat(np.asarray(sq_qid, dtype=np.int64), counts)
-        if nsel
-        else np.empty(0, dtype=np.int64)
-    )
-    if nsel:
-        widths = np.fromiter((len(f) for f in sq_fid), np.int64, len(sq_fid))
-        lengths = np.repeat(widths, counts)
-        offsets = np.zeros(nsel + 1, dtype=np.int64)
-        np.cumsum(lengths, out=offsets[1:])
-        flat = (
-            np.concatenate(
-                [
-                    np.tile(np.asarray(f, dtype=np.int64), int(c))
-                    for f, c in zip(sq_fid, counts)
-                ]
-            )
-            if int(offsets[-1])
-            else np.empty(0, dtype=np.int64)
-        )
-        fid_ragged = Ragged(flat, offsets)
-    else:
-        fid_ragged = Ragged(
-            np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64)
-        )
-    pid_ragged = (
-        Ragged.from_rows(sel_pids)
-        if any_pids
-        else Ragged(
-            np.empty(0, dtype=np.int64), np.zeros(nsel + 1, dtype=np.int64)
-        )
+    sel_rows, nleaves, agg_col, pid_ragged = batched_forest_selections(
+        [(el, np.asarray(rows, dtype=np.int64)) for el, rows in group_order],
+        los_m,
+        his_m,
+        want_mask,
+        ctx.charge,
     )
     selections = RecordBatch(
         "dist.forest_selection",
         {
-            "qid": qid_arr,
-            "forest_id": fid_ragged,
-            "nleaves": np.asarray(sel_nleaves, dtype=np.int64),
+            "qid": qid_col[sel_rows],
+            "forest_id": fid_col.take(sel_rows),
+            "nleaves": nleaves,
             "agg": agg_col,
             "pid_tuple": pid_ragged,
         },
-        nsel,
+        len(sel_rows),
     )
     pairs = RecordBatch(
         "dist.report_pair",

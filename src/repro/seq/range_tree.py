@@ -33,6 +33,7 @@ from ..geometry.rankspace import RankedPointSet, pad_to_power_of_two
 from ..semigroup import COUNT, Semigroup
 from ..semigroup.kernels import KernelAggs, KernelColumn
 from ..semigroup.kernels import batched_heap_fold as _batched_heap_fold
+from .compiled import CompiledForest, compiled_walk_enabled
 from .segment_tree import SegTree, WalkStats
 
 __all__ = ["RangeTree", "DimTree", "SequentialRangeTree", "CanonicalSelection"]
@@ -126,7 +127,16 @@ class RangeTree:
         matching forest elements "of dimension j <= d").
     """
 
-    __slots__ = ("ranks", "values", "semigroup", "start_dim", "d", "root_tree", "stats")
+    __slots__ = (
+        "ranks",
+        "values",
+        "semigroup",
+        "start_dim",
+        "d",
+        "root_tree",
+        "stats",
+        "_compiled",
+    )
 
     def __init__(
         self,
@@ -152,9 +162,32 @@ class RangeTree:
             rows = np.arange(ranks.shape[0], dtype=np.int64)
         else:
             rows = np.asarray(rows, dtype=np.int64)
+        self._compiled: CompiledForest | None = None
         self.root_tree = self._build(rows, start_dim)
         if isinstance(values, KernelColumn):
             self._annotate_kernel(values)
+
+    def __getstate__(self):
+        # The compiled lowering never crosses a process boundary:
+        # replication ships forest elements by pickle, and the arrays
+        # rebuild in one pass on the receiving rank (SegTree precedent).
+        return {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name != "_compiled"
+        }
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._compiled = None
+
+    def compiled(self) -> CompiledForest:
+        """The struct-of-arrays lowering of this tree, built lazily and
+        cached until :meth:`reannotate` swaps the aggregates out."""
+        if self._compiled is None:
+            self._compiled = CompiledForest.build(self)
+        return self._compiled
 
     # ------------------------------------------------------------------
     # construction (the classical bottom-up sequential algorithm)
@@ -225,6 +258,8 @@ class RangeTree:
         """
         self.values = values
         self.semigroup = semigroup
+        # the lowering snapshots aggregates; a refit makes it stale
+        self._compiled = None
         if isinstance(values, KernelColumn):
             self._annotate_kernel(values)
             return
@@ -252,27 +287,10 @@ class RangeTree:
         one tree object across virtual processors (forest copies) pass a
         per-call counter so charging is race-free under the thread backend.
         """
-        self._check_box(box)
-        st = stats if stats is not None else self.stats
-        if box.is_empty():
-            return []
-        out: list[CanonicalSelection] = []
-        self._canonical_rec(self.root_tree, box, out, st)
-        st.nodes_selected += len(out)
-        return out
-
-    def _canonical_rec(
-        self, tree: DimTree, box: RankBox, out: list[CanonicalSelection], st: WalkStats
-    ) -> None:
-        a, b = box.interval(tree.dim)
-        nodes, visited = tree.seg.decompose_counted(a, b)
-        st.nodes_visited += visited
-        if tree.dim == self.d - 1:
-            out.extend(CanonicalSelection(tree, node) for node in nodes)
-            return
-        assert tree.descendants is not None
-        for node in nodes:
-            self._canonical_rec(tree.descendants[node], box, out, st)
+        return [
+            CanonicalSelection(tree, node)
+            for tree, node in self.canonical_pairs(box, stats)
+        ]
 
     def canonical_pairs(
         self, box: RankBox, stats: WalkStats | None = None
@@ -327,6 +345,73 @@ class RangeTree:
     def count(self, box: RankBox, stats: WalkStats | None = None) -> int:
         """Number of points in the box (works for any semigroup: uses leaf counts)."""
         return sum(s.leaf_count for s in self.canonical(box, stats))
+
+    # ------------------------------------------------------------------
+    # batched queries (the compiled walk; bit-identical to the loops)
+    # ------------------------------------------------------------------
+    def _walk_batch(
+        self, boxes: Sequence[RankBox], st: WalkStats
+    ) -> tuple[CompiledForest, np.ndarray, np.ndarray]:
+        nq = len(boxes)
+        los = np.empty((nq, self.d), dtype=np.int64)
+        his = np.empty((nq, self.d), dtype=np.int64)
+        for i, box in enumerate(boxes):
+            self._check_box(box)
+            los[i] = box.los
+            his[i] = box.his
+        comp = self.compiled()
+        sel_q, sel_n, visits = comp.walk(los, his)
+        st.nodes_visited += int(visits.sum())
+        st.nodes_selected += int(sel_n.shape[0])
+        return comp, sel_q, sel_n
+
+    def count_many(
+        self, boxes: Sequence[RankBox], stats: WalkStats | None = None
+    ) -> list[int]:
+        """:meth:`count` over a batch of boxes in one compiled walk."""
+        st = stats if stats is not None else self.stats
+        if not compiled_walk_enabled():
+            return [self.count(box, st) for box in boxes]
+        comp, sel_q, sel_n = self._walk_batch(boxes, st)
+        out = np.zeros(len(boxes), dtype=np.int64)
+        np.add.at(out, sel_q, comp.nleaves[sel_n])
+        return [int(c) for c in out]
+
+    def aggregate_many(
+        self, boxes: Sequence[RankBox], stats: WalkStats | None = None
+    ) -> list[Any]:
+        """:meth:`aggregate` over a batch: one walk, per-query folds in
+        the object walk's exact emission order."""
+        st = stats if stats is not None else self.stats
+        if not compiled_walk_enabled():
+            return [self.aggregate(box, st) for box in boxes]
+        comp, sel_q, sel_n = self._walk_batch(boxes, st)
+        vals = comp.decode_aggs(sel_n)
+        cuts = np.searchsorted(sel_q, np.arange(len(boxes) + 1))
+        fold = self.semigroup.fold
+        return [
+            fold(vals[cuts[i] : cuts[i + 1]]) for i in range(len(boxes))
+        ]
+
+    def report_many(
+        self, boxes: Sequence[RankBox], stats: WalkStats | None = None
+    ) -> list[np.ndarray]:
+        """:meth:`report` over a batch: selection rows gathered with one
+        flat fancy index over the compiled pid tiling."""
+        st = stats if stats is not None else self.stats
+        if not compiled_walk_enabled():
+            return [self.report(box, st) for box in boxes]
+        comp, sel_q, sel_n = self._walk_batch(boxes, st)
+        lens = comp.nleaves[sel_n]
+        flat = comp.rows_flat(sel_n, lens)
+        st.points_reported += int(flat.shape[0])
+        offsets = np.zeros(len(sel_n) + 1, dtype=np.int64)
+        np.cumsum(lens, out=offsets[1:])
+        cuts = np.searchsorted(sel_q, np.arange(len(boxes) + 1))
+        return [
+            flat[offsets[cuts[i]] : offsets[cuts[i + 1]]]
+            for i in range(len(boxes))
+        ]
 
     # ------------------------------------------------------------------
     # introspection (sizes; used by Theorem 1 and the scaling benches)
@@ -424,6 +509,21 @@ class SequentialRangeTree:
         rows = self.core.report(self.rank_box(box))
         ids = self.ranked.ids[rows]
         return sorted(int(i) for i in ids if i >= 0)
+
+    # batched forms: one compiled walk for the whole slice (the oracle's
+    # hot path in the differential stream tests and the CLI checkpoints)
+    def count_many(self, boxes: Sequence[Box]) -> list[int]:
+        return self.core.count_many([self.rank_box(b) for b in boxes])
+
+    def aggregate_many(self, boxes: Sequence[Box]) -> list[Any]:
+        return self.core.aggregate_many([self.rank_box(b) for b in boxes])
+
+    def report_many(self, boxes: Sequence[Box]) -> list[list[int]]:
+        outs = self.core.report_many([self.rank_box(b) for b in boxes])
+        ids = self.ranked.ids
+        return [
+            sorted(int(i) for i in ids[rows] if i >= 0) for rows in outs
+        ]
 
     def canonical(self, box: Box) -> list[CanonicalSelection]:
         return self.core.canonical(self.rank_box(box))

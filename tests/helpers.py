@@ -72,23 +72,46 @@ def checkpoint_batch(boxes, offset: int = 0) -> QueryBatch:
 
 
 def oracle_values(oracle, batch: QueryBatch) -> list:
-    """Answer ``batch`` with the sequential DynamicRangeTree oracle."""
+    """Answer ``batch`` with the sequential DynamicRangeTree oracle.
+
+    Count/report/aggregate queries batch through the oracle's ``*_many``
+    APIs — one compiled walk per bucket for the whole slice — while the
+    order-statistic modes (topk/sample) stay per-query; answers are
+    positionally identical to a per-query loop either way.
+    """
+    by_mode: dict[str, list[int]] = {"count": [], "report": [], "aggregate": []}
+    for i, q in enumerate(batch):
+        if q.mode in by_mode:
+            by_mode[q.mode].append(i)
+        elif q.mode not in ("topk", "sample"):  # pragma: no cover
+            raise AssertionError(f"oracle cannot answer mode {q.mode!r}")
+    batched: dict[int, object] = {}
+    queries = list(batch)
+    if by_mode["count"]:
+        idx = by_mode["count"]
+        for i, v in zip(idx, oracle.count_many([queries[i].box for i in idx])):
+            batched[i] = v
+    if by_mode["report"]:
+        idx = by_mode["report"]
+        for i, ids in zip(
+            idx, oracle.report_many([queries[i].box for i in idx])
+        ):
+            limit = queries[i].option("limit")
+            batched[i] = ids if limit is None else ids[:limit]
+    if by_mode["aggregate"]:
+        idx = by_mode["aggregate"]
+        for i, v in zip(
+            idx, oracle.aggregate_many([queries[i].box for i in idx])
+        ):
+            batched[i] = v
     out = []
-    for q in batch:
-        if q.mode == "count":
-            out.append(oracle.count(q.box))
-        elif q.mode == "report":
-            ids = oracle.report(q.box)
-            limit = q.option("limit")
-            out.append(ids if limit is None else ids[:limit])
-        elif q.mode == "aggregate":
-            out.append(oracle.aggregate(q.box))
+    for i, q in enumerate(queries):
+        if i in batched:
+            out.append(batched[i])
         elif q.mode == "topk":
             out.append(oracle.top_k(q.box, q.option("k"), q.option("dim", 0)))
-        elif q.mode == "sample":
+        else:
             out.append(oracle.sample(q.box, q.option("k"), q.option("seed", 0)))
-        else:  # pragma: no cover - stream batches only use the five modes
-            raise AssertionError(f"oracle cannot answer mode {q.mode!r}")
     return out
 
 
