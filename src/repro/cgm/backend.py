@@ -36,11 +36,13 @@ parallelize under :class:`ProcessBackend`.
 
 from __future__ import annotations
 
+import os
 import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Sequence, Tuple
 
+from ..errors import WorkerCrash
 from .phases import ProcContext, bootstrap, get_phase
 
 __all__ = [
@@ -49,6 +51,7 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "WorkerError",
+    "WorkerCrash",
     "make_backend",
     "register_backend",
     "available_backends",
@@ -62,11 +65,15 @@ class WorkerError(RuntimeError):
     """A compute phase failed inside a worker process.
 
     Carries the worker-side traceback; the driver re-raises the original
-    exception instead when it survives pickling.
+    exception instead when it survives pickling.  (A worker *dying* is a
+    different condition: :class:`repro.errors.WorkerCrash`.)
     """
 
 
-def _invoke(fn, ctx: ProcContext, payload: Any) -> PhaseOutcome:
+def _invoke(fn, ctx: ProcContext, payload: Any, site: str) -> PhaseOutcome:
+    from ..faults import maybe_inject
+
+    maybe_inject(site, ctx.rank)
     t0 = time.perf_counter()
     result = fn(ctx, payload)
     return result, ctx.ops, time.perf_counter() - t0
@@ -126,7 +133,7 @@ class _InProcessBackend(Backend):
     def _outcome(self, p: int, phase: str, rank: int, payload: Any) -> PhaseOutcome:
         fn = get_phase(phase)
         ctx = ProcContext(rank=rank, p=p, state=self.states(p)[rank])
-        return _invoke(fn, ctx, payload)
+        return _invoke(fn, ctx, payload, phase)
 
     def fetch_state(self, p: int, key: str) -> List[Any]:
         return [st.get(key) for st in self.states(p)]
@@ -194,13 +201,25 @@ def _worker_main(rank: int, conn) -> None:
     """Worker loop: rank state lives here and only here.
 
     The driver sends ``("phase", name, payload, p)`` / ``("fetch", key)``
-    / ``("seed", key, value)`` / ``("stop",)`` commands; every command
-    gets exactly one reply, so the pipe can never desynchronize.  ``p``
-    rides each phase command because one worker set may serve machines
-    of different sizes (mirroring the in-process rank stores).
+    / ``("seed", key, value)`` / ``("faults", spec | None)`` /
+    ``("stop",)`` commands; every command gets exactly one reply, so the
+    pipe can never desynchronize.  ``p`` rides each phase command because
+    one worker set may serve machines of different sizes (mirroring the
+    in-process rank stores).
+
+    Fault injection: the worker arms any plan named by the
+    ``REPRO_FAULT_PLAN`` environment variable at startup (under ``fork``
+    it also inherits a driver-installed plan, with counters reset); the
+    ``faults`` command re-arms or disarms at runtime — the supervisor
+    disarms a respawned worker before replaying its journal so a
+    crash-at-k rule cannot re-fire during recovery.
     """
+    from .. import faults
+
+    faults.mark_in_worker(rank)
     try:
         bootstrap()
+        faults.load_plan_from_env()
         boot_failure: str | None = None
     except Exception:
         # Keep serving: the failure is reported with the first phase the
@@ -228,11 +247,33 @@ def _worker_main(rank: int, conn) -> None:
                         ) from None
                     raise
                 ctx = ProcContext(rank=rank, p=p, state=state)
-                conn.send(("ok", _invoke(fn, ctx, payload)))
+                outcome = _invoke(fn, ctx, payload, name)
+                try:
+                    conn.send(("ok", outcome))
+                except Exception as exc:
+                    # The *result* failed to serialize: the command still
+                    # gets its one reply, with rank/phase context intact.
+                    conn.send(
+                        (
+                            "error",
+                            WorkerError(
+                                f"rank {rank} phase {name!r} produced an "
+                                f"unserializable result: "
+                                f"{type(exc).__name__}: {exc}"
+                            ),
+                            traceback.format_exc(),
+                        )
+                    )
             elif cmd == "fetch":
                 conn.send(("ok", state.get(msg[1])))
             elif cmd == "seed":
                 state[msg[1]] = msg[2]
+                conn.send(("ok", None))
+            elif cmd == "faults":
+                if msg[1] is None:
+                    faults.uninstall_plan()
+                else:
+                    faults.install_plan(faults.FaultPlan.from_spec(msg[1]))
                 conn.send(("ok", None))
             else:  # pragma: no cover - protocol bug
                 conn.send(("error", RuntimeError(f"unknown command {cmd!r}"), ""))
@@ -248,7 +289,8 @@ def _worker_main(rank: int, conn) -> None:
 
 
 class ProcessBackend(Backend):
-    """Persistent worker processes — the true process-parallel backend.
+    """Persistent *supervised* worker processes — the true process-parallel
+    backend.
 
     One worker per rank, started lazily on first use (``fork`` where the
     platform offers it, ``spawn`` otherwise).  Compute phases are routed
@@ -259,6 +301,26 @@ class ProcessBackend(Backend):
     dispatch is deterministic; the machine's driver-side inbox merge
     (ordered by source rank, then send order) does the rest.
 
+    Supervision: replies are awaited with poll-plus-liveness, never a
+    bare blocking ``recv`` — a SIGKILL'd, segfaulted, or OOM-killed
+    worker raises a structured :class:`~repro.errors.WorkerCrash`
+    (rank, command, exit code) instead of hanging the driver, and
+    ``recv_timeout_s`` (env ``REPRO_WORKER_TIMEOUT_S``) bounds how long
+    an *alive but unresponsive* worker may sit on one command.
+
+    Recovery (opt-in, ``recovery=True`` / env ``REPRO_WORKER_RECOVERY=1``):
+    the backend journals every state-bearing command per rank (``phase``
+    dispatches and ``seed`` installs — payload references, no copies).
+    When a worker crashes, the supervisor respawns that rank, disarms
+    fault injection in the replacement, replays its journal to
+    reconstruct the rank-resident state, re-sends the in-flight command,
+    and the round continues — differential tests assert the recovered
+    run is bit-identical to an uninterrupted one.  Phases must be
+    deterministic for replay to be faithful (they are: that is the
+    cross-backend determinism contract).  Without recovery, a crash
+    resets the whole pool so the next use fails loudly on missing state
+    instead of silently pairing stale replies with new commands.
+
     Legacy closure phases (:meth:`run`) execute serially in the driver —
     correct on any consumer, parallel only for migrated ones.
     """
@@ -266,11 +328,53 @@ class ProcessBackend(Backend):
     name = "process"
     in_process = False
 
-    def __init__(self, start_method: str | None = None) -> None:
+    #: Liveness-check cadence while waiting on a reply (seconds).
+    POLL_INTERVAL_S = 0.05
+
+    def __init__(
+        self,
+        start_method: str | None = None,
+        recv_timeout_s: float | None = None,
+        recovery: bool | None = None,
+    ) -> None:
         self._start_method = start_method
+        if recv_timeout_s is None:
+            env = os.environ.get("REPRO_WORKER_TIMEOUT_S")
+            recv_timeout_s = float(env) if env else None
+        if recovery is None:
+            recovery = os.environ.get("REPRO_WORKER_RECOVERY", "") == "1"
+        self._recv_timeout_s = recv_timeout_s
+        self._recovery = bool(recovery)
         self._workers: List[tuple] = []  # (Process, Connection) per rank
+        self._journal: Dict[int, List[tuple]] = {}
+        self._mp_ctx = None
+        #: Successful crash recoveries performed (observability/tests).
+        self.recoveries = 0
 
     # -- worker lifecycle --------------------------------------------------
+    def _context(self):
+        if self._mp_ctx is None:
+            import multiprocessing as mp
+
+            method = self._start_method or (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+            self._mp_ctx = mp.get_context(method)
+        return self._mp_ctx
+
+    def _spawn(self, rank: int) -> tuple:
+        ctx = self._context()
+        parent, child = ctx.Pipe()
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(rank, child),
+            name=f"cgm-proc-{rank}",
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        return proc, parent
+
     def _ensure_workers(self, p: int) -> None:
         """Grow the worker set to at least ``p`` ranks, never shrinking.
 
@@ -278,65 +382,160 @@ class ProcessBackend(Backend):
         machines of different sizes in turn; existing workers (and their
         resident state) survive a larger or smaller machine coming along.
         """
-        if len(self._workers) >= p:
-            return
-        import multiprocessing as mp
-
-        method = self._start_method or (
-            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
-        )
-        ctx = mp.get_context(method)
         for rank in range(len(self._workers), p):
-            parent, child = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(rank, child),
-                name=f"cgm-proc-{rank}",
-                daemon=True,
-            )
-            proc.start()
-            child.close()
-            self._workers.append((proc, parent))
+            self._workers.append(self._spawn(rank))
+            self._journal.setdefault(rank, [])
 
-    def _roundtrip(self, p: int, messages: Sequence[tuple]) -> List[Any]:
+    # -- supervised receive ------------------------------------------------
+    def _recv_reply(self, rank: int, what: str):
+        """One reply from one rank, or a structured :class:`WorkerCrash`.
+
+        Polls the pipe at :data:`POLL_INTERVAL_S` so a dead worker is
+        noticed within one interval; a pending reply always wins over a
+        death verdict (a worker may exit right after flushing its last
+        reply), so no successful result is ever discarded.
+        """
+        proc, conn = self._workers[rank]
+        deadline = (
+            None
+            if self._recv_timeout_s is None
+            else time.monotonic() + self._recv_timeout_s
+        )
+        while True:
+            if conn.poll(self.POLL_INTERVAL_S):
+                try:
+                    return conn.recv()
+                except (EOFError, OSError):
+                    proc.join(timeout=1)
+                    raise WorkerCrash(
+                        rank, what, proc.exitcode,
+                        reason="pipe closed mid-command",
+                    ) from None
+            if not proc.is_alive():
+                if conn.poll(0):  # reply flushed just before death
+                    continue
+                proc.join(timeout=1)
+                raise WorkerCrash(rank, what, proc.exitcode)
+            if deadline is not None and time.monotonic() > deadline:
+                raise WorkerCrash(
+                    rank, what, None,
+                    reason=(
+                        f"no reply within {self._recv_timeout_s:g}s "
+                        "(worker alive but unresponsive)"
+                    ),
+                )
+
+    # -- crash recovery ----------------------------------------------------
+    def _recover(self, rank: int, msg: tuple, what: str, crash: WorkerCrash):
+        """Respawn a crashed rank, replay its journal, re-send ``msg``.
+
+        Returns the re-sent command's reply.  Fault injection is
+        disarmed in the replacement first, so the occurrence-counted
+        rule that killed the original cannot re-fire mid-replay.  A
+        second crash during recovery gives up: the pool resets and the
+        *original* crash propagates (chained).
+        """
+        if not self._recovery:
+            proc, _conn = self._workers[rank]
+            if proc.is_alive():  # timed out, not dead: don't wait on "stop"
+                proc.terminate()
+            self.close()
+            raise crash
+        old_proc, old_conn = self._workers[rank]
+        old_conn.close()
+        if old_proc.is_alive():  # recv-timeout crash: worker hung, not dead
+            old_proc.terminate()
+        old_proc.join(timeout=1)
+        self._workers[rank] = self._spawn(rank)
+        _proc, conn = self._workers[rank]
+        try:
+            conn.send(("faults", None))
+            self._recv_reply(rank, "faults:disarm")
+            for entry in self._journal[rank]:
+                conn.send(entry)
+                reply = self._recv_reply(rank, f"replay:{entry[0]}")
+                if reply[0] == "error":
+                    raise WorkerCrash(
+                        rank, what, None,
+                        reason=(
+                            f"journal replay diverged on {entry[0]!r}: "
+                            f"{reply[1]}"
+                        ),
+                    )
+            conn.send(msg)
+            reply = self._recv_reply(rank, what)
+        except WorkerCrash:
+            self.close()
+            raise crash from None
+        self.recoveries += 1
+        return reply
+
+    def _roundtrip(self, p: int, messages: Sequence[tuple], what: str) -> List[Any]:
         """Send one command per rank, collect one reply per rank (in order)."""
         self._ensure_workers(p)
         workers = self._workers[:p]
-        sent = 0
+        send_crashes: Dict[int, WorkerCrash] = {}
+        delivered: List[int] = []
         try:
-            for (_proc, conn), msg in zip(workers, messages):
-                conn.send(msg)
-                sent += 1
+            for rank, ((proc, conn), msg) in enumerate(zip(workers, messages)):
+                try:
+                    conn.send(msg)
+                except (BrokenPipeError, ConnectionResetError, EOFError):
+                    # The worker on the other end is gone: note the crash
+                    # and keep feeding the live ranks; the reply loop
+                    # below recovers (or gives up) in rank order.
+                    proc.join(timeout=1)
+                    send_crashes[rank] = WorkerCrash(
+                        rank, what, proc.exitcode,
+                        reason="pipe broken on send",
+                    )
+                else:
+                    delivered.append(rank)
         except Exception:
             # A driver-side send failure (unpicklable payload) must not
             # desynchronize the pipes: every delivered command gets exactly
             # one reply, so drain the acks already owed before re-raising.
-            for rank in range(sent):
-                self._workers[rank][1].recv()
+            try:
+                for rank in delivered:
+                    self._recv_reply(rank, what)
+            except WorkerCrash:
+                self.close()  # pool is broken anyway; the send error leads
             raise
         replies: List[Any] = []
         failure: tuple | None = None
-        for rank, (_proc, conn) in enumerate(workers):
+        for rank in range(p):
             try:
-                reply = conn.recv()
-            except (EOFError, OSError):
-                # The worker died mid-command (OOM kill, segfault).  The
-                # other pipes now hold replies with no matching commands,
-                # so the whole pool is torn down: the next use starts
-                # fresh workers and fails loudly on missing state instead
-                # of silently pairing stale replies with new commands.
-                self.close()
-                raise WorkerError(
-                    f"worker rank {rank} died mid-command; the worker pool "
-                    "was reset and its rank-resident state is lost"
-                ) from None
-            if reply[0] == "error" and failure is None:
-                failure = (rank, reply[1], reply[2] if len(reply) > 2 else "")
+                crash = send_crashes.get(rank)
+                if crash is not None:
+                    raise crash
+                reply = self._recv_reply(rank, what)
+            except WorkerCrash as crash:
+                # _recover raises the crash (after a pool reset) when
+                # recovery is off or fails; otherwise the rank is rebuilt
+                # and this is its reply to the re-sent command.
+                reply = self._recover(rank, messages[rank], what, crash)
+            if reply[0] == "error":
+                if failure is None:
+                    failure = (rank, reply[1], reply[2] if len(reply) > 2 else "")
+            elif messages[rank][0] in ("phase", "seed"):
+                # Journal only state-bearing commands that *succeeded*:
+                # replay reconstructs state, and failed phases are not
+                # re-raised into a recovering worker.
+                if self._recovery:
+                    self._journal[rank].append(messages[rank])
             replies.append(reply)
         if failure is not None:
             rank, exc, tb = failure
-            if isinstance(exc, BaseException):
+            if isinstance(exc, Exception):
                 raise exc
+            if isinstance(exc, BaseException):
+                # A worker-raised BaseException (SystemExit,
+                # KeyboardInterrupt) must not masquerade as a driver-side
+                # one — wrap it with its rank/command context instead.
+                raise WorkerError(
+                    f"rank {rank} raised {type(exc).__name__} during "
+                    f"{what!r}\n{tb}"
+                ) from exc
             raise WorkerError(f"rank {rank} failed: {exc}\n{tb}")
         return [r[1] for r in replies]
 
@@ -345,28 +544,45 @@ class ProcessBackend(Backend):
         self, p: int, phase: str, payloads: Sequence[Any]
     ) -> List[PhaseOutcome]:
         return self._roundtrip(
-            p, [("phase", phase, payloads[r], p) for r in range(p)]
+            p, [("phase", phase, payloads[r], p) for r in range(p)], phase
         )
 
     def fetch_state(self, p: int, key: str) -> List[Any]:
-        return self._roundtrip(p, [("fetch", key)] * p)
+        return self._roundtrip(p, [("fetch", key)] * p, f"fetch:{key}")
 
     def seed_state(self, p: int, key: str, values: Sequence[Any]) -> None:
-        self._roundtrip(p, [("seed", key, values[r]) for r in range(p)])
+        self._roundtrip(
+            p, [("seed", key, values[r]) for r in range(p)], f"seed:{key}"
+        )
 
     def close(self) -> None:
+        """Stop all workers; safe after a crash, safe to call twice.
+
+        Dead workers are skipped (a send to a closed pipe is caught, a
+        join on a zombie returns immediately); a live-but-stuck worker
+        is terminated after a bounded join, then killed.  The journal is
+        dropped with the workers — their state is gone, so replaying it
+        into fresh workers would lie.
+        """
         for proc, conn in self._workers:
             try:
                 conn.send(("stop",))
-            except (OSError, BrokenPipeError):  # pragma: no cover
-                pass
+            except (OSError, BrokenPipeError, ValueError):
+                pass  # dead worker or already-closed pipe
         for proc, conn in self._workers:
             proc.join(timeout=5)
             if proc.is_alive():  # pragma: no cover - stuck worker
                 proc.terminate()
                 proc.join(timeout=1)
-            conn.close()
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=1)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
         self._workers = []
+        self._journal = {}
 
 
 # ---------------------------------------------------------------------------

@@ -413,8 +413,16 @@ class Machine:
     def __enter__(self) -> "Machine":
         return self
 
-    def __exit__(self, *exc: Any) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # A failing close (terminating half-dead workers can fail in
+        # odd ways) must never mask the in-flight exception — a
+        # WorkerCrash unwinding through this block is the diagnosis,
+        # the secondary close error is noise.
+        try:
+            self.close()
+        except Exception:
+            if exc_type is None:
+                raise
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Machine(p={self.p}, backend={self.backend.name})"

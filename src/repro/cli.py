@@ -26,12 +26,20 @@ The subcommands::
         Run the micro-batching query daemon (repro.serve): concurrent
         NDJSON/TCP clients coalesce into mixed-mode QueryBatches under
         the adaptive flush policy; Ctrl-C drains in-flight batches.
+        ``--max-inflight`` bounds the backlog (sheds with Overloaded)
+        and ``--deadline-ms`` sets a default per-query deadline.
 
     repro-range-search loadgen --m 256 --clients 8 --arrival poisson --rate 2000
         Drive a serve daemon with a seeded client population — an
         in-process service over a fresh tree by default, or an external
         daemon with --connect HOST:PORT — and print qps plus latency
         percentiles; ``--json`` emits the measurement row.
+        ``--max-inflight``/``--deadline-ms``/``--retries`` drive the
+        degradation paths deliberately (errors land in the row).
+
+    Chaos runs: ``query`` and ``serve`` accept ``--fault-plan SPEC``
+    (inline JSON or a file path) to arm a seeded repro.faults FaultPlan
+    — injected crashes/delays/raises replay bit-for-bit.
 
     repro-range-search demo
         The quickstart walkthrough.
@@ -93,6 +101,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the ResultSet as machine-readable JSON on stdout",
     )
+    q.add_argument(
+        "--fault-plan",
+        metavar="SPEC",
+        help="arm a repro.faults FaultPlan for the run: inline JSON or a "
+        "path to a JSON file (exported to worker processes; chaos runs "
+        "replay bit-for-bit)",
+    )
 
     s = sub.add_parser(
         "stream",
@@ -149,6 +164,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=1024,
         help="coalescing window: flush as soon as this many queries wait",
     )
+    srv.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="admission cap: shed (Overloaded) past this many unanswered "
+        "queries (default: the service backstop)",
+    )
+    srv.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="default per-query deadline; expired queries answer "
+        "DeadlineExceeded instead of executing",
+    )
+    srv.add_argument(
+        "--fault-plan",
+        metavar="SPEC",
+        help="arm a repro.faults FaultPlan in the daemon: inline JSON or "
+        "a path to a JSON file",
+    )
 
     lg = sub.add_parser(
         "loadgen",
@@ -181,6 +216,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lg.add_argument("--max-wait-ms", type=float, default=2.0)
     lg.add_argument("--max-batch", type=int, default=1024)
+    lg.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="service admission cap (in-process runs): drive overload "
+        "behaviour deliberately",
+    )
+    lg.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-query deadline carried on every generated query",
+    )
+    lg.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="client retries (jittered exponential backoff) on Overloaded",
+    )
     lg.add_argument(
         "--backend",
         choices=available_backends(),
@@ -227,6 +281,33 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_fault_plan(spec: str | None):
+    """Arm a fault plan from an inline JSON spec or a JSON file path.
+
+    Returns the installed :class:`~repro.faults.FaultPlan` (or ``None``).
+    The plan is exported through the environment so process-backend
+    workers inherit it — the whole point of a CLI chaos run.
+    """
+    if not spec:
+        return None
+    import os
+
+    from .faults import FaultPlan, install_plan
+
+    text = spec
+    if not spec.lstrip().startswith("{") and os.path.exists(spec):
+        with open(spec) as fh:
+            text = fh.read()
+    plan = FaultPlan.from_spec(text)
+    install_plan(plan, env=True)
+    print(
+        f"fault plan armed: {plan.name or 'unnamed'} "
+        f"({len(plan.rules)} rule{'s' if len(plan.rules) != 1 else ''})",
+        file=sys.stderr,
+    )
+    return plan
+
+
 def _make_batch(mode: str, queries) -> "object":
     """The CLI's query batch: one descriptor per box, mixed cycles modes."""
     from .query import QueryBatch, aggregate, count, report
@@ -265,6 +346,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from .dist import DistributedRangeTree
     from .workloads import make_points, make_queries
 
+    _install_fault_plan(args.fault_plan)
     points = make_points(args.points, args.n, args.d, seed=args.seed)
     if args.queries == "selectivity":
         queries = make_queries(
@@ -392,13 +474,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import FlushPolicy, QueryService, start_tcp_server
     from .workloads import make_points
 
+    _install_fault_plan(args.fault_plan)
     points = make_points(args.points, args.n, args.d, seed=args.seed)
 
     async def run(tree) -> None:
         policy = FlushPolicy(
             max_wait_ms=args.max_wait_ms, max_batch=args.max_batch
         )
-        async with QueryService(tree, policy) as service:
+        async with QueryService(
+            tree,
+            policy,
+            max_inflight=args.max_inflight,
+            default_deadline_ms=args.deadline_ms,
+        ) as service:
             server = await start_tcp_server(service, args.host, args.port)
             sock = server.sockets[0].getsockname()
             print(
@@ -446,6 +534,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             clients=args.clients,
             arrival=args.arrival,
             rate_qps=args.rate,
+            deadline_ms=args.deadline_ms,
+            retries=args.retries,
         )
     else:
         from .dist import DistributedRangeTree
@@ -464,6 +554,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 rate_qps=args.rate,
                 max_wait_ms=args.max_wait_ms,
                 max_batch=args.max_batch,
+                max_inflight=args.max_inflight,
+                deadline_ms=args.deadline_ms,
+                retries=args.retries,
             )
     if args.json:
         print(_json.dumps(row, indent=2, sort_keys=True))
@@ -473,6 +566,12 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             f"{row['qps']} qps, p50 {row['p50_ms']}ms, p99 {row['p99_ms']}ms, "
             f"mean batch {row.get('mean_batch_size')}"
         )
+        if row.get("errors"):
+            print(
+                f"errors: {row['errors']}/{row['m']} "
+                f"({row['error_types']})",
+                file=sys.stderr,
+            )
         if row.get("answers_match_direct") is False:
             print("answers DIVERGED from direct execution", file=sys.stderr)
             return 1

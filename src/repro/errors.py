@@ -16,7 +16,12 @@ __all__ = [
     "PowerOfTwoError",
     "CapacityExceeded",
     "ProtocolError",
+    "WorkerCrash",
+    "InjectedFault",
     "ServeError",
+    "Overloaded",
+    "DeadlineExceeded",
+    "QueryFailed",
 ]
 
 
@@ -68,7 +73,93 @@ class ProtocolError(MachineError):
     """A collective was invoked inconsistently across virtual processors."""
 
 
+class WorkerCrash(MachineError):
+    """A worker process died (or stopped responding) mid-command.
+
+    Raised by the supervised :class:`~repro.cgm.backend.ProcessBackend`
+    instead of hanging on a dead pipe: ``rank`` is the virtual processor
+    whose worker failed, ``phase`` the command it was executing (a phase
+    name, or ``"seed"``/``"fetch"`` for state plumbing), ``exit_code``
+    the process exit status when the worker actually died (``-9`` for
+    SIGKILL; ``None`` when the worker is alive but missed the configured
+    reply timeout).
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        phase: str,
+        exit_code: "int | None" = None,
+        reason: str = "worker died mid-command",
+    ) -> None:
+        detail = (
+            f"exit code {exit_code}" if exit_code is not None else "no exit"
+        )
+        super().__init__(
+            f"rank {rank} crashed during {phase!r}: {reason} ({detail})"
+        )
+        self.rank = rank
+        self.phase = phase
+        self.exit_code = exit_code
+        self.reason = reason
+
+
+class InjectedFault(ReproError):
+    """A fault deliberately raised by :mod:`repro.faults`.
+
+    Chaos tests match on this type to distinguish injected failures from
+    organic bugs; ``site`` and ``rank`` identify the dispatch that fired.
+    """
+
+    def __init__(self, site: str, rank: "int | None", message: str = "") -> None:
+        where = f"{site}" if rank is None else f"{site} on rank {rank}"
+        super().__init__(message or f"injected fault at {where}")
+        self.site = site
+        self.rank = rank
+
+
 class ServeError(ReproError):
     """Errors raised by the query-service layer (:mod:`repro.serve`):
     submissions to a closed daemon, malformed wire requests, failed
     remote queries surfaced client-side."""
+
+
+class Overloaded(ServeError):
+    """The daemon shed a submission: ``max_inflight`` queries are already
+    admitted.  Clients may retry with backoff
+    (:meth:`repro.serve.ServeClient.request` does, when configured)."""
+
+    def __init__(self, inflight: int, max_inflight: int) -> None:
+        super().__init__(
+            f"service overloaded: {inflight} queries in flight "
+            f"(max_inflight={max_inflight}); retry later"
+        )
+        self.inflight = inflight
+        self.max_inflight = max_inflight
+
+
+class DeadlineExceeded(ServeError):
+    """A query's ``deadline_ms`` expired before its batch executed.
+
+    The query was never planned or executed past its deadline — the
+    answer is a typed error, not a late result."""
+
+    def __init__(self, deadline_ms: float, waited_ms: float) -> None:
+        super().__init__(
+            f"deadline of {deadline_ms:g}ms exceeded after "
+            f"{waited_ms:.1f}ms in queue"
+        )
+        self.deadline_ms = deadline_ms
+        self.waited_ms = waited_ms
+
+
+class QueryFailed(ServeError):
+    """One query poisoned its batch: the engine pass raised, and bisection
+    isolated the failure to this query.  Batch-mates were re-executed and
+    answered normally; ``query_id`` is the service-assigned id of the
+    offending query."""
+
+    def __init__(self, query_id: int, message: str) -> None:
+        super().__init__(f"query {query_id} failed: {message}")
+        self.query_id = query_id
+        self.detail = message

@@ -1,0 +1,306 @@
+"""Fault plans and the process-local injection runtime.
+
+A :class:`FaultRule` names a *site* (a phase name like
+``dist.search.walk_cols``, or an ``fnmatch`` glob like ``cgm.sort.*``;
+the non-phase sites are ``kernel.fold`` and ``serve.execute``), an
+*action*, and *when* it fires.  Occurrence counting is per
+``(rule, site, rank)`` within one process: the k-th matching dispatch is
+the same dispatch on every run, which is what makes a chaos run
+replayable bit-for-bit.
+
+Actions
+-------
+``delay``
+    Sleep ``delay_ms`` before running the dispatch (answers unchanged —
+    the differential suite's no-op fault).
+``raise``
+    Raise :class:`~repro.errors.InjectedFault` instead of running it.
+``crash``
+    Die without cleanup (``os._exit``) when running inside a worker
+    process — a real SIGKILL-equivalent the supervised backend must
+    detect.  In-process backends have no rank to kill, so ``crash``
+    degrades to ``raise`` there (documented, asserted by tests).
+
+Scheduling
+----------
+``at`` is the 1-based occurrence at which the rule starts firing and
+``count`` how many consecutive occurrences fire (``0`` = every one from
+``at`` on).  A rule may instead carry ``probability``: each occurrence
+fires independently with that probability, sampled by hashing
+``(plan seed, site, rank, occurrence)`` — no RNG state, so sampled
+chaos replays exactly.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from ..errors import InjectedFault, ReproError
+
+__all__ = [
+    "ACTIONS",
+    "ENV_VAR",
+    "FaultRule",
+    "FaultPlan",
+    "install_plan",
+    "uninstall_plan",
+    "active_plan",
+    "injected",
+    "maybe_inject",
+    "load_plan_from_env",
+    "mark_in_worker",
+    "clear_runtime",
+]
+
+ACTIONS = ("delay", "raise", "crash")
+
+#: Environment variable carrying a JSON plan spec into worker processes
+#: (and into any entry point: the CLI's ``--fault-plan`` just sets it).
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: Exit status a ``crash`` action dies with inside a worker (visible as
+#: :attr:`repro.errors.WorkerCrash.exit_code`).
+CRASH_EXIT_CODE = 73
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule; see the module docstring for semantics."""
+
+    site: str
+    action: str
+    at: int = 1
+    count: int = 1
+    rank: Optional[int] = None
+    delay_ms: float = 0.0
+    probability: Optional[float] = None
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ReproError(
+                f"unknown fault action {self.action!r}; one of {ACTIONS}"
+            )
+        if self.at < 1:
+            raise ReproError(f"rule 'at' is 1-based, got {self.at}")
+        if self.count < 0:
+            raise ReproError(f"rule 'count' must be >= 0, got {self.count}")
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ReproError(
+                f"rule 'probability' must be in [0, 1], got {self.probability}"
+            )
+        if self.action == "delay" and self.delay_ms < 0:
+            raise ReproError(f"delay_ms must be >= 0, got {self.delay_ms}")
+
+    def matches(self, site: str, rank: Optional[int]) -> bool:
+        """Does this rule watch the given dispatch site/rank at all?"""
+        if self.rank is not None and rank is not None and self.rank != rank:
+            return False
+        return self.site == site or fnmatch.fnmatchcase(site, self.site)
+
+    def fires(self, occurrence: int, seed: int, site: str,
+              rank: Optional[int]) -> bool:
+        """Does the rule act on this (1-based) matching occurrence?"""
+        if occurrence < self.at:
+            return False
+        if self.probability is not None:
+            return _sample(seed, site, rank, occurrence) < self.probability
+        if self.count == 0:
+            return True
+        return occurrence < self.at + self.count
+
+
+def _sample(seed: int, site: str, rank: Optional[int], occurrence: int) -> float:
+    """Stateless uniform sample in [0, 1) — replayable by construction."""
+    key = f"{seed}:{site}:{-1 if rank is None else rank}:{occurrence}"
+    digest = hashlib.sha256(key.encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded set of rules — the unit chaos tests commit."""
+
+    rules: Tuple[FaultRule, ...] = ()
+    seed: int = 0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    # -- serialization (the env/CLI transport) -----------------------------
+    def to_spec(self) -> dict:
+        def rule_spec(r: FaultRule) -> dict:
+            spec: dict = {
+                "site": r.site, "action": r.action, "at": r.at,
+                "count": r.count,
+            }
+            if r.rank is not None:
+                spec["rank"] = r.rank
+            if r.delay_ms:
+                spec["delay_ms"] = r.delay_ms
+            if r.probability is not None:
+                spec["probability"] = r.probability
+            if r.message:
+                spec["message"] = r.message
+            return spec
+
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "rules": [rule_spec(r) for r in self.rules],
+        }
+
+    @classmethod
+    def from_spec(cls, spec: "dict | str") -> "FaultPlan":
+        if isinstance(spec, str):
+            try:
+                spec = json.loads(spec)
+            except json.JSONDecodeError as exc:
+                raise ReproError(f"malformed fault-plan JSON: {exc}") from None
+        if not isinstance(spec, dict):
+            raise ReproError(
+                f"fault plan spec must be an object, got {type(spec).__name__}"
+            )
+        try:
+            rules = tuple(
+                FaultRule(**rule) for rule in spec.get("rules", ())
+            )
+        except TypeError as exc:
+            raise ReproError(f"malformed fault rule: {exc}") from None
+        return cls(
+            rules=rules,
+            seed=int(spec.get("seed", 0)),
+            name=str(spec.get("name", "")),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_spec(), sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# the process-local runtime
+# ---------------------------------------------------------------------------
+_active: Optional[FaultPlan] = None
+_counts: Dict[Tuple[int, str, Optional[int]], int] = {}
+_in_worker = False
+_env_installed = False
+
+
+def install_plan(plan: FaultPlan, env: bool = False) -> None:
+    """Arm ``plan`` in this process (fresh occurrence counters).
+
+    With ``env=True`` the plan is also exported via ``REPRO_FAULT_PLAN``
+    so worker processes started afterwards arm it on bootstrap.
+    """
+    global _active, _env_installed
+    _active = plan
+    _counts.clear()
+    if env:
+        os.environ[ENV_VAR] = plan.to_json()
+        _env_installed = True
+
+
+def uninstall_plan() -> None:
+    """Disarm injection (and drop an env export made by install_plan)."""
+    global _active, _env_installed
+    _active = None
+    _counts.clear()
+    if _env_installed:
+        os.environ.pop(ENV_VAR, None)
+        _env_installed = False
+
+
+def active_plan() -> Optional[FaultPlan]:
+    return _active
+
+
+def clear_runtime() -> None:
+    """Reset counters and worker flag (test isolation helper)."""
+    global _in_worker
+    _counts.clear()
+    _in_worker = False
+
+
+class injected:
+    """Context manager: arm a plan for a ``with`` block, restore after.
+
+    ``env=True`` (the default) exports the plan to workers spawned
+    inside the block — the shape every chaos test uses.
+    """
+
+    def __init__(self, plan: FaultPlan, env: bool = True) -> None:
+        self._plan = plan
+        self._env = env
+        self._prev_env: Optional[str] = None
+
+    def __enter__(self) -> FaultPlan:
+        self._prev_env = os.environ.get(ENV_VAR)
+        install_plan(self._plan, env=self._env)
+        return self._plan
+
+    def __exit__(self, *exc: Any) -> None:
+        uninstall_plan()
+        if self._prev_env is not None:
+            os.environ[ENV_VAR] = self._prev_env
+
+
+def load_plan_from_env() -> Optional[FaultPlan]:
+    """Arm the plan named by ``REPRO_FAULT_PLAN`` (worker bootstrap)."""
+    spec = os.environ.get(ENV_VAR)
+    if not spec:
+        return None
+    plan = FaultPlan.from_spec(spec)
+    install_plan(plan, env=False)
+    return plan
+
+
+def mark_in_worker(rank: int) -> None:
+    """Called by worker-process mains: enables real ``crash`` actions and
+    resets any counters inherited across a ``fork``."""
+    global _in_worker
+    _in_worker = True
+    _counts.clear()
+
+
+def maybe_inject(site: str, rank: Optional[int] = None) -> None:
+    """The hook: fire whatever the active plan schedules for this dispatch.
+
+    Called by backends before invoking a phase, by the kernel fold, and
+    by the serve executor.  No-ops (one attribute load) when no plan is
+    armed, so the hot path stays hot.
+    """
+    plan = _active
+    if plan is None:
+        return
+    delay_ms = 0.0
+    fired: Optional[FaultRule] = None
+    for idx, rule in enumerate(plan.rules):
+        if not rule.matches(site, rank):
+            continue
+        key = (idx, site, rank)
+        occurrence = _counts.get(key, 0) + 1
+        _counts[key] = occurrence
+        if not rule.fires(occurrence, plan.seed, site, rank):
+            continue
+        if rule.action == "delay":
+            delay_ms += rule.delay_ms
+        elif fired is None:
+            fired = rule
+    if delay_ms > 0.0:
+        time.sleep(delay_ms / 1000.0)
+    if fired is None:
+        return
+    if fired.action == "crash" and _in_worker:
+        # A real crash: no cleanup, no goodbye on the pipe.  The
+        # supervised backend must notice on its own.
+        os._exit(CRASH_EXIT_CODE)
+    # crash outside a worker process degrades to a structured raise —
+    # there is no rank-local process to kill without taking the driver.
+    raise InjectedFault(site, rank, fired.message)

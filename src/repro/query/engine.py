@@ -352,7 +352,20 @@ class QueryEngine:
 
         # Lazy annotation refit: local work + one broadcast round, cached.
         if plan.refit_semigroup is not None:
-            tree._refit(plan.refit_semigroup, label="query:refit")
+            prior = tree.semigroup
+            try:
+                tree._refit(plan.refit_semigroup, label="query:refit")
+            except Exception:
+                # A poisoned semigroup can raise mid-refold, leaving the
+                # aggregates half-swapped.  Restore the prior annotation
+                # (a full recompute from the points, so partial damage
+                # heals) before propagating: one bad query must not
+                # corrupt the tree for every batch after it.
+                try:
+                    tree._refit(prior, label="query:refit-rollback")
+                except Exception:
+                    pass  # best effort: the original failure leads
+                raise
 
         out = run_search(
             tree.machine,

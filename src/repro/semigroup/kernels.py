@@ -470,6 +470,9 @@ def fold_segments(
     ``kernel.width`` columns of ``mat`` participate, so a kernel can
     fold its slice of a wider shared piece matrix in place.
     """
+    from ..faults import maybe_inject
+
+    maybe_inject("kernel.fold")
     k = len(starts)
     w = kernel.width
     out = np.empty((k, w), dtype=mat.dtype)

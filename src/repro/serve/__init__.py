@@ -30,11 +30,23 @@ test suite.
 
 from .client import ServeClient
 from .loadgen import make_serve_queries, run_loadgen, run_loadgen_remote
-from .protocol import query_from_request, request_to_obj
+from .protocol import (
+    error_from_obj,
+    error_to_obj,
+    query_from_request,
+    request_to_obj,
+)
 from .server import start_tcp_server
-from .service import FlushPolicy, QueryService, ServeMetrics, ServeResponse
+from .service import (
+    DEFAULT_MAX_INFLIGHT,
+    FlushPolicy,
+    QueryService,
+    ServeMetrics,
+    ServeResponse,
+)
 
 __all__ = [
+    "DEFAULT_MAX_INFLIGHT",
     "FlushPolicy",
     "QueryService",
     "ServeMetrics",
@@ -43,6 +55,8 @@ __all__ = [
     "start_tcp_server",
     "query_from_request",
     "request_to_obj",
+    "error_to_obj",
+    "error_from_obj",
     "make_serve_queries",
     "run_loadgen",
     "run_loadgen_remote",

@@ -5,6 +5,17 @@ path, and the end-to-end tests.  One :class:`ServeClient` holds one
 connection; concurrent ``request`` calls multiplex over it, matched
 back by the auto-assigned request id (responses arrive in batch
 completion order, not submission order).
+
+Error lines come back as the *typed* exceptions the daemon raised
+(:class:`~repro.errors.Overloaded`, ``DeadlineExceeded``,
+``QueryFailed`` — reconstructed by
+:func:`repro.serve.protocol.error_from_obj`), so callers can branch on
+type instead of parsing messages.  When constructed with ``retries >
+0`` the client absorbs :class:`~repro.errors.Overloaded` sheds itself:
+each retry waits a *jittered exponential backoff* (``base * 2**attempt``
+capped at ``cap``, scaled by a seeded uniform in ``[0.5, 1)`` so
+concurrent clients desynchronize deterministically) and re-sends under
+a fresh request id.
 """
 
 from __future__ import annotations
@@ -12,11 +23,12 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import random
 from typing import Any, Dict
 
-from ..errors import ServeError
+from ..errors import Overloaded, ServeError
 from ..query.descriptors import Query
-from .protocol import decode_line, request_to_obj
+from .protocol import decode_line, error_from_obj, request_to_obj
 
 __all__ = ["ServeClient"]
 
@@ -25,19 +37,49 @@ class ServeClient:
     """One NDJSON connection to a serve daemon."""
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        retries: int = 0,
+        retry_base_ms: float = 10.0,
+        retry_cap_ms: float = 500.0,
+        retry_seed: int = 0,
     ) -> None:
+        if retries < 0:
+            raise ServeError(f"retries must be >= 0, got {retries}")
         self._reader = reader
         self._writer = writer
         self._ids = itertools.count()
         self._pending: Dict[int, asyncio.Future] = {}
         self._reader_task = asyncio.ensure_future(self._read_loop())
         self._closed = False
+        self.retries = retries
+        self.retry_base_ms = retry_base_ms
+        self.retry_cap_ms = retry_cap_ms
+        self._rng = random.Random(retry_seed)
+        self.retried = 0  # Overloaded sheds absorbed by backoff
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "ServeClient":
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        retries: int = 0,
+        retry_base_ms: float = 10.0,
+        retry_cap_ms: float = 500.0,
+        retry_seed: int = 0,
+    ) -> "ServeClient":
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        return cls(
+            reader,
+            writer,
+            retries=retries,
+            retry_base_ms=retry_base_ms,
+            retry_cap_ms=retry_cap_ms,
+            retry_seed=retry_seed,
+        )
 
     async def _read_loop(self) -> None:
         error: Exception | None = None
@@ -61,29 +103,64 @@ class ServeClient:
                     future.set_exception(failure)
             self._pending.clear()
 
-    async def request(self, query: Query) -> dict:
-        """Send one query; return the raw response object.
+    def _backoff_s(self, attempt: int) -> float:
+        """Jittered exponential backoff before retry ``attempt`` (0-based)."""
+        delay_ms = min(self.retry_cap_ms, self.retry_base_ms * (2**attempt))
+        return delay_ms * (0.5 + self._rng.random() / 2.0) / 1000.0
 
-        Raises :class:`~repro.errors.ServeError` if the daemon answered
-        with an error line for this request.
-        """
+    async def _request_once(
+        self, query: Query, deadline_ms: "float | None"
+    ) -> dict:
         if self._closed:
             raise ServeError("ServeClient is closed")
         req_id = next(self._ids)
         future = asyncio.get_running_loop().create_future()
         self._pending[req_id] = future
         self._writer.write(
-            (json.dumps(request_to_obj(query, req_id)) + "\n").encode()
+            (
+                json.dumps(request_to_obj(query, req_id, deadline_ms)) + "\n"
+            ).encode()
         )
         await self._writer.drain()
         obj = await future
         if not obj.get("ok"):
-            raise ServeError(obj.get("error", "remote query failed"))
+            raise error_from_obj(obj.get("error", "remote query failed"))
         return obj
 
-    async def value(self, query: Query) -> Any:
+    async def request(
+        self,
+        query: Query,
+        *,
+        deadline_ms: "float | None" = None,
+        retries: "int | None" = None,
+    ) -> dict:
+        """Send one query; return the raw response object.
+
+        A daemon error line raises the *typed* exception it describes
+        (``Overloaded`` / ``DeadlineExceeded`` / ``QueryFailed`` /
+        ``ServeError``).  ``Overloaded`` is retried up to ``retries``
+        times (default: the client's configured ``retries``) under
+        jittered exponential backoff, each attempt on a fresh request
+        id; the other error types are never retried — a deadline or a
+        poisoned query fails the same way again.
+        """
+        budget = self.retries if retries is None else retries
+        attempt = 0
+        while True:
+            try:
+                return await self._request_once(query, deadline_ms)
+            except Overloaded:
+                if attempt >= budget:
+                    raise
+                self.retried += 1
+                await asyncio.sleep(self._backoff_s(attempt))
+                attempt += 1
+
+    async def value(
+        self, query: Query, *, deadline_ms: "float | None" = None
+    ) -> Any:
         """Send one query; return just its (JSON-safe) answer value."""
-        return (await self.request(query))["value"]
+        return (await self.request(query, deadline_ms=deadline_ms))["value"]
 
     async def aclose(self) -> None:
         if self._closed:

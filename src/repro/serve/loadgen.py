@@ -18,6 +18,13 @@ TCP transport, and emit one flat row — qps, shared-estimator latency
 percentiles (:func:`repro._util.percentiles`), batch shape, and an
 ``answers_match_direct`` bit cross-checking every response against one
 direct ``tree.run`` of the same queries.
+
+Overload runs are first-class: ``max_inflight`` / ``deadline_ms`` /
+``retries`` push the service into its graceful-degradation regime, and
+every row records the error budget it paid — ``errors`` /
+``error_rate`` / per-type ``error_types`` counts — with latency
+percentiles and the direct cross-check computed over the *successful*
+queries only (a shed query has no answer to compare).
 """
 
 from __future__ import annotations
@@ -28,7 +35,7 @@ import time
 from typing import Any, Callable, List
 
 from .._util import percentiles
-from ..errors import ServeError
+from ..errors import Overloaded, ServeError
 from ..query.descriptors import Query, QueryBatch, aggregate, count, report
 from ..query.result import _json_safe
 from ..workloads import make_queries
@@ -59,20 +66,29 @@ async def _drive(
     clients: int,
     rate_qps: float | None,
     seed: int,
-) -> "tuple[list, list, float]":
-    """Issue every query; returns (values in query order, latencies_ms, wall_s).
+) -> "tuple[list, list, list, float]":
+    """Issue every query; returns (values, latencies_ms, errors, wall_s).
 
     ``submit`` is an async callable returning the answer value — the
     transport adapter.  Latency here is the *client-observed* round
-    trip, measured on the loop clock per query.
+    trip, measured on the loop clock per query.  A query answered with
+    a :class:`~repro.errors.ServeError` (shed, deadline, poisoned) is
+    recorded by exception type name in ``errors[i]`` — its value stays
+    ``None`` and its latency slot is meaningless; errors never abort
+    the run.
     """
     loop = asyncio.get_running_loop()
     values: List[Any] = [None] * len(queries)
     latencies: List[float] = [0.0] * len(queries)
+    errors: List["str | None"] = [None] * len(queries)
 
     async def one(i: int) -> None:
         t0 = loop.time()
-        values[i] = await submit(queries[i])
+        try:
+            values[i] = await submit(queries[i])
+        except ServeError as exc:
+            errors[i] = type(exc).__name__
+            return
         latencies[i] = (loop.time() - t0) * 1000.0
 
     t_start = loop.time()
@@ -106,32 +122,62 @@ async def _drive(
         raise ServeError(
             f"unknown arrival process {arrival!r} (closed | poisson)"
         )
-    return values, latencies, loop.time() - t_start
+    return values, latencies, errors, loop.time() - t_start
+
+
+def _error_stats(errors: List["str | None"]) -> "tuple[int, dict]":
+    """Count failed queries and bucket them by exception type name."""
+    types: dict = {}
+    for name in errors:
+        if name is not None:
+            types[name] = types.get(name, 0) + 1
+    return sum(types.values()), types
 
 
 async def _run_inproc(service: QueryService, queries, arrival, clients,
-                      rate_qps, seed):
+                      rate_qps, seed, deadline_ms=None, retries=0):
+    # Mirror ServeClient's Overloaded backoff for the in-process
+    # transport, so `retries` means the same thing on both.
+    rng = random.Random(seed ^ 0x5E12E)
+
     async def submit(q: Query):
-        return (await service.submit(q)).value
+        attempt = 0
+        while True:
+            try:
+                return (
+                    await service.submit(q, deadline_ms=deadline_ms)
+                ).value
+            except Overloaded:
+                if attempt >= retries:
+                    raise
+                delay_ms = min(500.0, 10.0 * (2**attempt))
+                await asyncio.sleep(
+                    delay_ms * (0.5 + rng.random() / 2.0) / 1000.0
+                )
+                attempt += 1
 
     async with service:
         return await _drive(submit, queries, arrival, clients, rate_qps, seed)
 
 
 async def _run_tcp(service: QueryService, queries, arrival, clients,
-                   rate_qps, seed):
+                   rate_qps, seed, deadline_ms=None, retries=0):
     async with service:
         server = await start_tcp_server(service, "127.0.0.1", 0)
         port = server.sockets[0].getsockname()[1]
         conns = [
-            await ServeClient.connect("127.0.0.1", port)
-            for _ in range(clients)
+            await ServeClient.connect(
+                "127.0.0.1", port, retries=retries, retry_seed=seed + c
+            )
+            for c in range(clients)
         ]
         try:
             turn = iter(range(len(queries)))
 
             async def submit(q: Query):
-                return await conns[next(turn) % clients].value(q)
+                return await conns[next(turn) % clients].value(
+                    q, deadline_ms=deadline_ms
+                )
 
             return await _drive(
                 submit, queries, arrival, clients, rate_qps, seed
@@ -153,25 +199,33 @@ def run_loadgen_remote(
     clients: int = 4,
     arrival: str = "closed",
     rate_qps: float | None = None,
+    deadline_ms: float | None = None,
+    retries: int = 0,
 ) -> dict:
     """Drive an *external* daemon (``repro-range-search serve``) over TCP.
 
     Unlike :func:`run_loadgen` there is no tree in hand, so no direct
     cross-check and no service-side batch metrics — just the
-    client-observed qps and latency percentiles.
+    client-observed qps and latency percentiles (successes only) and
+    the per-type error counts.
     """
     queries = make_serve_queries(m, d, seed=seed)
     clients = max(1, int(clients))
 
     async def go():
         conns = [
-            await ServeClient.connect(host, port) for _ in range(clients)
+            await ServeClient.connect(
+                host, port, retries=retries, retry_seed=seed + c
+            )
+            for c in range(clients)
         ]
         try:
             turn = iter(range(len(queries)))
 
             async def submit(q: Query):
-                return await conns[next(turn) % clients].value(q)
+                return await conns[next(turn) % clients].value(
+                    q, deadline_ms=deadline_ms
+                )
 
             return await _drive(
                 submit, queries, arrival, clients, rate_qps, seed
@@ -180,8 +234,12 @@ def run_loadgen_remote(
             for conn in conns:
                 await conn.aclose()
 
-    _values, latencies, wall_s = asyncio.run(go())
-    pct = percentiles(latencies, (50, 95, 99))
+    _values, latencies, errors, wall_s = asyncio.run(go())
+    n_errors, error_types = _error_stats(errors)
+    ok_latencies = [
+        lat for lat, err in zip(latencies, errors) if err is None
+    ]
+    pct = percentiles(ok_latencies or [0.0], (50, 95, 99))
     row = {
         "transport": "tcp",
         "arrival": arrival,
@@ -191,10 +249,17 @@ def run_loadgen_remote(
         "p50_ms": round(pct["p50"], 4),
         "p95_ms": round(pct["p95"], 4),
         "p99_ms": round(pct["p99"], 4),
+        "errors": n_errors,
+        "error_rate": round(n_errors / len(queries), 4) if queries else 0.0,
+        "error_types": error_types,
         "answers_match_direct": None,
     }
     if rate_qps is not None:
         row["rate_qps"] = rate_qps
+    if deadline_ms is not None:
+        row["deadline_ms"] = deadline_ms
+    if retries:
+        row["retries"] = retries
     return row
 
 
@@ -211,14 +276,23 @@ def run_loadgen(
     max_batch: int = 1024,
     transport: str = "inproc",
     verify: bool = True,
+    max_inflight: int | None = None,
+    deadline_ms: float | None = None,
+    retries: int = 0,
 ) -> dict:
     """One complete loadgen measurement; returns a flat row dict.
 
     The caller owns ``tree`` (it stays open); the service and any TCP
     plumbing live only for the measurement.  With ``verify=True`` the
     same queries also run as one direct ``tree.run`` batch and every
-    served answer is compared — bit-identical for the in-process
-    transport, JSON-coerced for TCP (the wire's representation).
+    *successfully served* answer is compared — bit-identical for the
+    in-process transport, JSON-coerced for TCP (the wire's
+    representation); a shed/expired query contributes to the error
+    counts, never a wrong answer.
+
+    ``max_inflight`` caps service admission (overload runs),
+    ``deadline_ms`` rides on every query, and ``retries`` turns on the
+    client-side Overloaded backoff (both transports).
     """
     if queries is None:
         queries = make_serve_queries(m, tree.dim, seed=seed)
@@ -230,25 +304,43 @@ def run_loadgen(
         expected = tree.run(QueryBatch(queries)).values()
 
     service = QueryService(
-        tree, FlushPolicy(max_wait_ms=max_wait_ms, max_batch=max_batch)
+        tree,
+        FlushPolicy(max_wait_ms=max_wait_ms, max_batch=max_batch),
+        max_inflight=max_inflight,
     )
     runner = _run_tcp if transport == "tcp" else _run_inproc
     if transport not in ("inproc", "tcp"):
         raise ServeError(f"unknown transport {transport!r} (inproc | tcp)")
     wall0 = time.perf_counter()
-    values, latencies, wall_s = asyncio.run(
-        runner(service, queries, arrival, clients, rate_qps, seed)
+    values, latencies, errors, wall_s = asyncio.run(
+        runner(
+            service, queries, arrival, clients, rate_qps, seed,
+            deadline_ms, retries,
+        )
     )
     _ = wall0  # loop-clock wall_s is the figure; perf_counter kept honest
 
+    n_errors, error_types = _error_stats(errors)
     answers_match = None
     if expected is not None:
+        # Compare only the queries that got answers: errors are counted,
+        # not compared (there is nothing to compare them against).
+        pairs = [
+            (exp, got)
+            for exp, got, err in zip(expected, values, errors)
+            if err is None
+        ]
         if transport == "tcp":
-            answers_match = [_json_safe(v) for v in expected] == values
+            answers_match = all(
+                _json_safe(exp) == got for exp, got in pairs
+            )
         else:
-            answers_match = expected == values
+            answers_match = all(exp == got for exp, got in pairs)
 
-    pct = percentiles(latencies, (50, 95, 99))
+    ok_latencies = [
+        lat for lat, err in zip(latencies, errors) if err is None
+    ]
+    pct = percentiles(ok_latencies or [0.0], (50, 95, 99))
     sm = service.metrics
     row = {
         "transport": transport,
@@ -264,9 +356,18 @@ def run_loadgen(
         "mean_batch_size": round(sm.mean_batch_size, 2),
         "batches": sm.batches,
         "flushes": dict(sm.flushes),
+        "errors": n_errors,
+        "error_rate": round(n_errors / len(queries), 4) if queries else 0.0,
+        "error_types": error_types,
         "serve_metrics": sm.summary(),
         "answers_match_direct": answers_match,
     }
     if rate_qps is not None:
         row["rate_qps"] = rate_qps
+    if max_inflight is not None:
+        row["max_inflight"] = max_inflight
+    if deadline_ms is not None:
+        row["deadline_ms"] = deadline_ms
+    if retries:
+        row["retries"] = retries
     return row

@@ -8,21 +8,35 @@ response.
 Request object::
 
     {"id": 7, "mode": "count", "box": [[0.1, 0.4], [0.2, 0.9]],
-     "limit": ..., "k": ..., "dim": ..., "seed": ...}
+     "limit": ..., "k": ..., "dim": ..., "seed": ...,
+     "deadline_ms": ...}
 
 ``mode`` defaults to ``"count"``; ``box`` is the per-dimension
 ``(lo, hi)`` list the :mod:`repro.query` constructors accept; the
 remaining keys are the mode-specific options (``limit`` for report,
-``k``/``dim`` for topk, ``k``/``seed`` for sample).  Aggregate queries
-fold the tree's build-time semigroup — per-query semigroups are an
-in-process API (callables do not serialize).
+``k``/``dim`` for topk, ``k``/``seed`` for sample).  ``deadline_ms``
+(optional) bounds the query's total latency server-side — past it the
+answer is a ``DeadlineExceeded`` error line, never a late result.
+Aggregate queries fold the tree's build-time semigroup — per-query
+semigroups are an in-process API (callables do not serialize).
 
 Response object::
 
     {"id": 7, "ok": true, "value": 42, "queue_ms": 1.8, "exec_ms": 3.1,
      "batch_size": 128, "batch_seq": 5}
 
-or, on failure, ``{"id": 7, "ok": false, "error": "<message>"}``.
+or, on failure::
+
+    {"id": 7, "ok": false,
+     "error": {"type": "Overloaded", "message": "...",
+               "inflight": 8192, "max_inflight": 8192}}
+
+Error objects are **typed**: ``type`` names the
+:mod:`repro.errors` class (``Overloaded`` / ``DeadlineExceeded`` /
+``QueryFailed`` / ``ServeError``), ``message`` is human-readable, and
+the type-specific fields ride along so :func:`error_from_obj` can
+reconstruct the exact exception client-side.  Decoding also accepts the
+legacy bare-string form ``"error": "<message>"`` (pre-typed servers).
 Values pass through :func:`repro.query.result._json_safe`, the same
 coercion the CLI's ``--json`` contract uses.
 """
@@ -32,7 +46,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
-from ..errors import ServeError
+from ..errors import DeadlineExceeded, Overloaded, QueryFailed, ServeError
 from ..query.descriptors import (
     Query,
     aggregate,
@@ -50,6 +64,8 @@ __all__ = [
     "decode_line",
     "encode_response",
     "encode_error",
+    "error_to_obj",
+    "error_from_obj",
 ]
 
 #: Modes the wire accepts, mapped to their per-request constructors.
@@ -102,12 +118,15 @@ def query_from_request(obj: dict) -> Query:
     )
 
 
-def request_to_obj(query: Query, req_id: Any) -> dict:
+def request_to_obj(
+    query: Query, req_id: Any, deadline_ms: "float | None" = None
+) -> dict:
     """Serialize a :class:`~repro.query.Query` into one wire request.
 
     The inverse of :func:`query_from_request` for the wire-expressible
     descriptor subset; a per-query semigroup cannot cross the wire and
-    is rejected here rather than silently dropped.
+    is rejected here rather than silently dropped.  ``deadline_ms``
+    rides along when set, bounding the query's latency server-side.
     """
     if query.mode not in _WIRE_MODES:
         raise ServeError(f"mode {query.mode!r} is not wire-expressible")
@@ -128,6 +147,8 @@ def request_to_obj(query: Query, req_id: Any) -> dict:
         val = query.option(key)
         if val is not None:
             obj[key] = val
+    if deadline_ms is not None:
+        obj["deadline_ms"] = float(deadline_ms)
     return obj
 
 
@@ -150,6 +171,62 @@ def encode_response(req_id: Any, resp: ServeResponse) -> bytes:
     )
 
 
-def encode_error(req_id: Any, message: str) -> bytes:
+def error_to_obj(error: Any) -> dict:
+    """Serialize an exception into the typed wire error object.
+
+    Carries the type-specific fields for the structured serve errors so
+    the client can rebuild the exact exception; any other exception (or
+    a bare message string) degrades to a plain ``ServeError`` payload.
+    """
+    obj: dict = {"message": str(error)}
+    if isinstance(error, Overloaded):
+        obj["type"] = "Overloaded"
+        obj["inflight"] = error.inflight
+        obj["max_inflight"] = error.max_inflight
+    elif isinstance(error, DeadlineExceeded):
+        obj["type"] = "DeadlineExceeded"
+        obj["deadline_ms"] = error.deadline_ms
+        obj["waited_ms"] = error.waited_ms
+    elif isinstance(error, QueryFailed):
+        obj["type"] = "QueryFailed"
+        obj["query_id"] = error.query_id
+        obj["detail"] = error.detail
+    else:
+        obj["type"] = "ServeError"
+    return obj
+
+
+def error_from_obj(payload: Any) -> ServeError:
+    """Reconstruct the typed exception one error payload describes.
+
+    Accepts the typed object form and (for legacy peers) a bare message
+    string; unknown types degrade to :class:`~repro.errors.ServeError`
+    so a newer server never breaks an older client.
+    """
+    if isinstance(payload, str):
+        return ServeError(payload)
+    if not isinstance(payload, dict):
+        return ServeError(f"remote query failed: {payload!r}")
+    etype = payload.get("type")
+    message = payload.get("message", "remote query failed")
+    try:
+        if etype == "Overloaded":
+            return Overloaded(
+                int(payload["inflight"]), int(payload["max_inflight"])
+            )
+        if etype == "DeadlineExceeded":
+            return DeadlineExceeded(
+                float(payload["deadline_ms"]), float(payload["waited_ms"])
+            )
+        if etype == "QueryFailed":
+            return QueryFailed(
+                int(payload["query_id"]), str(payload.get("detail", message))
+            )
+    except (KeyError, TypeError, ValueError):
+        pass  # malformed typed payload: fall back to the message
+    return ServeError(message)
+
+
+def encode_error(req_id: Any, error: Any) -> bytes:
     """One failure line (still tagged with the request id, if any)."""
-    return _line({"id": req_id, "ok": False, "error": str(message)})
+    return _line({"id": req_id, "ok": False, "error": error_to_obj(error)})

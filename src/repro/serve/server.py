@@ -65,7 +65,7 @@ async def _handle_connection(
         except asyncio.CancelledError:
             raise
         except ReproError as exc:
-            await send(encode_error(req_id, str(exc)))
+            await send(encode_error(req_id, exc))
             return
         await send(encode_response(req_id, resp))
 
@@ -80,9 +80,22 @@ async def _handle_connection(
             try:
                 obj = decode_line(line)
                 req_id = obj.get("id")
-                future = service.submit(query_from_request(obj))
+                deadline_ms = obj.get("deadline_ms")
+                if deadline_ms is not None:
+                    deadline_ms = float(deadline_ms)
+                future = service.submit(
+                    query_from_request(obj), deadline_ms=deadline_ms
+                )
             except ReproError as exc:
-                await send(encode_error(req_id, str(exc)))
+                # Sheds (Overloaded), deadline validation, and malformed
+                # requests all answer as typed error lines; the
+                # connection lives on.
+                await send(encode_error(req_id, exc))
+                continue
+            except (TypeError, ValueError) as exc:
+                await send(
+                    encode_error(req_id, f"bad deadline_ms: {exc}")
+                )
                 continue
             task = asyncio.ensure_future(respond(req_id, future))
             responders.add(task)

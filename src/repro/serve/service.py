@@ -34,6 +34,27 @@ service answers them through shared engine passes:
 ``aclose()`` drains gracefully: the close sentinel travels the same
 queues behind every accepted submission, so all in-flight work is
 answered before shutdown completes.
+
+Graceful degradation (the overload/fault story):
+
+* **Admission control** — at most ``max_inflight`` queries may be
+  submitted-and-unanswered at once; a submission past the cap raises a
+  structured :class:`~repro.errors.Overloaded` immediately (shed, not
+  queued), so the backlog is bounded even under unbounded offered load.
+  The cap is always on — the default is a high backstop; tune it down
+  to the service's real capacity for deliberate load shedding.
+* **Deadlines** — a query may carry ``deadline_ms``; if it expires
+  before its batch is planned it is answered with
+  :class:`~repro.errors.DeadlineExceeded` and never planned or
+  executed, and if it expires while its planned batch waits for the
+  worker thread the (late) answer is discarded in favor of the same
+  typed error.
+* **Poisoned-batch isolation** — an engine exception fails only the
+  batch that raised: the executor *bisects* the batch to isolate the
+  offending query, re-running the innocent halves (deterministic
+  engine ⇒ identical answers) and tagging the culprit with
+  :class:`~repro.errors.QueryFailed` (its service-assigned query id).
+  The daemon loop survives.
 """
 
 from __future__ import annotations
@@ -45,11 +66,15 @@ from dataclasses import dataclass
 from typing import Any, List
 
 from ..cgm.metrics import LatencyStats
-from ..errors import ServeError
+from ..errors import DeadlineExceeded, Overloaded, QueryFailed, ServeError
 from ..query.descriptors import Query, QueryBatch
 from ..query.modes import get_mode
 
 __all__ = ["FlushPolicy", "ServeResponse", "ServeMetrics", "QueryService"]
+
+#: Backstop admission cap: even a service nobody configured sheds rather
+#: than queueing without bound (satellite of the fault-tolerance layer).
+DEFAULT_MAX_INFLIGHT = 8192
 
 #: Sentinel that travels the request and executor queues on shutdown.
 _CLOSE = object()
@@ -118,6 +143,11 @@ class ServeMetrics:
         self.batches = 0
         self.cancelled = 0
         self.errors = 0
+        self.shed = 0
+        self.deadline_expired = 0
+        self.query_failures = 0
+        self.bisect_passes = 0
+        self.peak_inflight = 0
         self.flushes = {"size": 0, "timer": 0, "drain": 0}
         self.batch_log: List[dict] = []
 
@@ -126,6 +156,10 @@ class ServeMetrics:
         self.queue_latency.record(queue_ms)
         self.exec_latency.record(exec_ms)
         self.total_latency.record(queue_ms + exec_ms)
+
+    def note_inflight(self, depth: int) -> None:
+        if depth > self.peak_inflight:
+            self.peak_inflight = depth
 
     @property
     def mean_batch_size(self) -> float:
@@ -140,6 +174,11 @@ class ServeMetrics:
             "batches": self.batches,
             "cancelled": self.cancelled,
             "errors": self.errors,
+            "shed": self.shed,
+            "deadline_expired": self.deadline_expired,
+            "query_failures": self.query_failures,
+            "bisect_passes": self.bisect_passes,
+            "peak_inflight": self.peak_inflight,
             "flushes": dict(self.flushes),
             "mean_batch_size": round(self.mean_batch_size, 2),
             "queue": self.queue_latency.summary(),
@@ -149,14 +188,31 @@ class ServeMetrics:
 
 
 class _Request:
-    """One submitted query awaiting its batch."""
+    """One submitted query awaiting its batch.
 
-    __slots__ = ("query", "future", "t_submit")
+    ``qid`` is the service-assigned query id (what a
+    :class:`~repro.errors.QueryFailed` names); ``expiry`` is the
+    loop-clock instant the query's deadline passes (``None`` = no
+    deadline).
+    """
 
-    def __init__(self, query: Query, future: asyncio.Future, t_submit: float):
+    __slots__ = ("query", "future", "t_submit", "qid", "expiry", "deadline_ms")
+
+    def __init__(
+        self,
+        query: Query,
+        future: asyncio.Future,
+        t_submit: float,
+        qid: int,
+        expiry: "float | None" = None,
+        deadline_ms: "float | None" = None,
+    ):
         self.query = query
         self.future = future
         self.t_submit = t_submit
+        self.qid = qid
+        self.expiry = expiry
+        self.deadline_ms = deadline_ms
 
 
 class _PlannedBatch:
@@ -184,11 +240,30 @@ class QueryService:
     strictly sequential batches (backends and metrics need no locking).
     """
 
-    def __init__(self, tree, policy: FlushPolicy | None = None) -> None:
+    def __init__(
+        self,
+        tree,
+        policy: FlushPolicy | None = None,
+        *,
+        max_inflight: int | None = None,
+        default_deadline_ms: float | None = None,
+    ) -> None:
         self.tree = tree
         self.policy = policy or FlushPolicy()
+        if max_inflight is None:
+            max_inflight = DEFAULT_MAX_INFLIGHT
+        if max_inflight < 1:
+            raise ServeError(f"max_inflight must be >= 1, got {max_inflight}")
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise ServeError(
+                f"default_deadline_ms must be > 0, got {default_deadline_ms}"
+            )
+        self.max_inflight = max_inflight
+        self.default_deadline_ms = default_deadline_ms
         self.metrics = ServeMetrics()
+        self._inflight = 0
         self._seq = itertools.count()
+        self._qids = itertools.count()
         self._loop: asyncio.AbstractEventLoop | None = None
         self._requests: asyncio.Queue | None = None
         self._exec_queue: asyncio.Queue | None = None
@@ -246,14 +321,23 @@ class QueryService:
     # ------------------------------------------------------------------
     # the in-process client API
     # ------------------------------------------------------------------
-    def submit(self, query: Query) -> "asyncio.Future[ServeResponse]":
+    def submit(
+        self, query: Query, *, deadline_ms: float | None = None
+    ) -> "asyncio.Future[ServeResponse]":
         """Enqueue one query; the future resolves to a :class:`ServeResponse`.
 
         Validation happens here, synchronously, so a malformed query
         raises to its own submitter and can never poison a batch other
-        clients are riding.  Cancelling the returned future withdraws
-        the query: pre-flush it is dropped at admission, post-flush its
-        slot in the pass is computed but the answer is discarded.
+        clients are riding.  Admission control also happens here: past
+        ``max_inflight`` submitted-and-unanswered queries the submission
+        is *shed* with :class:`~repro.errors.Overloaded` (nothing is
+        queued).  ``deadline_ms`` (default: the service's
+        ``default_deadline_ms``) bounds the query's total latency; an
+        expired query is answered with
+        :class:`~repro.errors.DeadlineExceeded`.  Cancelling the
+        returned future withdraws the query: pre-flush it is dropped at
+        admission, post-flush its slot in the pass is computed but the
+        answer is discarded.
         """
         if not self.running:
             raise ServeError("QueryService is not running")
@@ -262,21 +346,49 @@ class QueryService:
                 f"submit takes a repro.query.Query descriptor, got "
                 f"{type(query).__name__}"
             )
+        if self._inflight >= self.max_inflight:
+            self.metrics.shed += 1
+            raise Overloaded(self._inflight, self.max_inflight)
         dim = self.tree.dim
         if query.box.dim != dim:
             raise ServeError(
                 f"query box has dimension {query.box.dim}, tree is {dim}-d"
             )
         get_mode(query.mode).validate(query, dim)
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ServeError(f"deadline_ms must be > 0, got {deadline_ms}")
+        now = self._loop.time()
         future = self._loop.create_future()
+        self._inflight += 1
+        self.metrics.note_inflight(self._inflight)
+        future.add_done_callback(self._release_slot)
         self._requests.put_nowait(
-            _Request(query, future, self._loop.time())
+            _Request(
+                query,
+                future,
+                now,
+                next(self._qids),
+                expiry=None if deadline_ms is None else now + deadline_ms / 1000.0,
+                deadline_ms=deadline_ms,
+            )
         )
         return future
 
-    async def query(self, query: Query) -> ServeResponse:
+    def _release_slot(self, _future: asyncio.Future) -> None:
+        self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        """Queries submitted and not yet answered (the admission gauge)."""
+        return self._inflight
+
+    async def query(
+        self, query: Query, *, deadline_ms: float | None = None
+    ) -> ServeResponse:
         """Submit and await one query (convenience for tests/examples)."""
-        return await self.submit(query)
+        return await self.submit(query, deadline_ms=deadline_ms)
 
     # ------------------------------------------------------------------
     # stage 1: the collector (coalescing + admission + planning)
@@ -321,11 +433,28 @@ class QueryService:
                 await self._flush(pending, "size")
                 pending = []
 
+    def _expire(self, req: _Request, now: float) -> bool:
+        """Answer ``req`` with DeadlineExceeded if its deadline passed."""
+        if req.expiry is None or now <= req.expiry:
+            return False
+        self.metrics.deadline_expired += 1
+        if not req.future.done():
+            req.future.set_exception(
+                DeadlineExceeded(
+                    req.deadline_ms, (now - req.t_submit) * 1000.0
+                )
+            )
+        return True
+
     async def _flush(self, requests: List[_Request], cause: str) -> None:
         """Admit one window: drop dead futures, plan, enqueue for exec."""
         self.metrics.flushes[cause] += 1
         live = [r for r in requests if not r.future.done()]
         self.metrics.cancelled += len(requests) - len(live)
+        # Deadline check happens before planning: an expired query is
+        # answered with the typed error and never enters the batch.
+        now = self._loop.time()
+        live = [r for r in live if not self._expire(r, now)]
         if not live:
             return  # the whole window was withdrawn: execute nothing
         batch = QueryBatch([r.query for r in live])
@@ -360,9 +489,32 @@ class QueryService:
     # ------------------------------------------------------------------
     def _run_batch(self, item: _PlannedBatch):
         """The worker-thread body: one shared engine pass for the batch."""
+        from ..faults import maybe_inject
+
+        maybe_inject("serve.execute")
         if item.plan is not None:
             return self.tree.engine.execute(item.plan)
         return self.tree.run(item.batch)
+
+    def _bisect_batch(self, requests: List[_Request]):
+        """Worker-thread body: isolate poisoned queries in a failed batch.
+
+        Recursively halves the batch and re-runs each half through
+        ``tree.run`` — the engine is deterministic, so surviving queries
+        get exactly the answers the whole batch would have produced —
+        until each failure is a singleton, which is the poisoned query.
+        Returns ``[(request, ("ok", value) | ("err", exc)), ...]``.
+        """
+        try:
+            rs = self.tree.run(QueryBatch([r.query for r in requests]))
+        except Exception as exc:
+            if len(requests) == 1:
+                return [(requests[0], ("err", exc))]
+            mid = len(requests) // 2
+            return self._bisect_batch(requests[:mid]) + self._bisect_batch(
+                requests[mid:]
+            )
+        return [(r, ("ok", v)) for r, v in zip(requests, rs.values())]
 
     async def _execute_loop(self) -> None:
         loop = self._loop
@@ -376,13 +528,10 @@ class QueryService:
                 rs = await loop.run_in_executor(
                     self._pool, self._run_batch, item
                 )
-            except Exception as exc:
-                self.metrics.errors += len(item.requests)
-                item.log["t_exec_end"] = loop.time()
-                failure = ServeError(f"batch execution failed: {exc}")
-                for req in item.requests:
-                    if not req.future.done():
-                        req.future.set_exception(failure)
+            except Exception:
+                # Poisoned batch: bisect to tag the offending queries and
+                # re-answer the innocent ones; the daemon loop survives.
+                await self._demux_failed_batch(item, t_start)
                 continue
             t_end = loop.time()
             item.log["t_exec_end"] = t_end
@@ -390,6 +539,10 @@ class QueryService:
             size = len(item.requests)
             values = rs.values()
             for req, value in zip(item.requests, values):
+                # Deadline passed while the batch waited for the worker
+                # thread: discard the late answer for the typed error.
+                if not req.future.done() and self._expire(req, t_start):
+                    continue
                 queue_ms = (t_start - req.t_submit) * 1000.0
                 self.metrics.record_query(queue_ms, exec_ms)
                 if req.future.done():  # cancelled mid-batch: discard
@@ -398,6 +551,46 @@ class QueryService:
                 req.future.set_result(
                     ServeResponse(value, queue_ms, exec_ms, size, item.seq)
                 )
+
+    async def _demux_failed_batch(self, item: _PlannedBatch, t_start) -> None:
+        """Answer a batch whose shared pass raised, via bisection."""
+        loop = self._loop
+        self.metrics.bisect_passes += 1
+        try:
+            outcomes = await loop.run_in_executor(
+                self._pool, self._bisect_batch, item.requests
+            )
+        except Exception as exc:
+            # The bisection itself failed (non-deterministic engine,
+            # broken tree): fail the whole batch, keep the daemon alive.
+            self.metrics.errors += len(item.requests)
+            item.log["t_exec_end"] = loop.time()
+            failure = ServeError(f"batch execution failed: {exc}")
+            for req in item.requests:
+                if not req.future.done():
+                    req.future.set_exception(failure)
+            return
+        t_end = loop.time()
+        item.log["t_exec_end"] = t_end
+        exec_ms = (t_end - t_start) * 1000.0
+        size = len(item.requests)
+        for req, (kind, payload) in outcomes:
+            if kind == "err":
+                self.metrics.errors += 1
+                self.metrics.query_failures += 1
+                if not req.future.done():
+                    req.future.set_exception(QueryFailed(req.qid, str(payload)))
+                continue
+            if not req.future.done() and self._expire(req, t_start):
+                continue
+            queue_ms = (t_start - req.t_submit) * 1000.0
+            self.metrics.record_query(queue_ms, exec_ms)
+            if req.future.done():
+                self.metrics.cancelled += 1
+                continue
+            req.future.set_result(
+                ServeResponse(payload, queue_ms, exec_ms, size, item.seq)
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = (

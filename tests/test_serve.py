@@ -289,7 +289,10 @@ def test_encode_response_and_error_lines():
         "batch_size": 4, "batch_seq": 9,
     }
     err = json.loads(encode_error(None, "boom"))
-    assert err == {"id": None, "ok": False, "error": "boom"}
+    assert err == {
+        "id": None, "ok": False,
+        "error": {"type": "ServeError", "message": "boom"},
+    }
 
 
 def test_tcp_two_clients_and_disconnect_survival(tree):
@@ -355,7 +358,7 @@ def test_tcp_malformed_line_gets_error_line_not_disconnect(tree):
                 await server.wait_closed()
 
     err, ok = run(go())
-    assert err["ok"] is False and "malformed" in err["error"]
+    assert err["ok"] is False and "malformed" in err["error"]["message"]
     assert ok["ok"] is True and ok["id"] == 1
     assert ok["value"] == tree.run(QueryBatch([count(BOX)])).values()[0]
 

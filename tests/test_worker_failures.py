@@ -1,0 +1,187 @@
+"""Worker failure modes: the supervised process backend never hangs.
+
+Every scenario here used to be a driver hang (a bare ``conn.recv`` on a
+pipe nobody will ever write to); now each is a structured
+:class:`~repro.errors.WorkerCrash` / ``WorkerError`` carrying the rank
+and the command it died under.  The conftest hang guard (pytest-timeout
+or the SIGALRM fallback) turns any regression back into a loud failure.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.cgm import Machine, ProcessBackend, register_phase
+from repro.errors import WorkerCrash
+from repro.cgm.backend import WorkerError
+
+
+@register_phase("wf.echo")
+def _phase_echo(ctx, payload):
+    return payload
+
+
+@register_phase("wf.stash")
+def _phase_stash(ctx, payload):
+    ctx.state["wf"] = ctx.state.get("wf", 0) + payload
+    return ctx.state["wf"]
+
+
+@register_phase("wf.sigkill")
+def _phase_sigkill(ctx, payload):
+    """SIGKILL our own worker process when rank == payload."""
+    if ctx.rank == payload:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return ctx.rank
+
+
+@register_phase("wf.sysexit")
+def _phase_sysexit(ctx, payload):
+    if ctx.rank == payload:
+        raise SystemExit(3)
+    return ctx.rank
+
+
+@register_phase("wf.unpicklable")
+def _phase_unpicklable(ctx, payload):
+    if ctx.rank == payload:
+        return lambda: None  # locals never pickle
+    return ctx.rank
+
+
+@register_phase("wf.stall")
+def _phase_stall(ctx, payload):
+    if ctx.rank == payload:
+        time.sleep(30)
+    return ctx.rank
+
+
+class TestStructuredCrashes:
+    def test_sigkill_mid_phase_raises_worker_crash(self):
+        backend = ProcessBackend()
+        try:
+            with pytest.raises(WorkerCrash) as exc:
+                backend.run_phase(2, "wf.sigkill", [1, 1])
+            assert exc.value.rank == 1
+            assert exc.value.phase == "wf.sigkill"
+            assert exc.value.exit_code == -signal.SIGKILL
+        finally:
+            backend.close()
+
+    def test_base_exception_is_wrapped_with_context(self):
+        backend = ProcessBackend()
+        try:
+            with pytest.raises(WorkerError, match="rank 1 raised SystemExit"):
+                backend.run_phase(2, "wf.sysexit", [1, 1])
+            # the pool survives a raised (not crashed) worker
+            out = backend.run_phase(2, "wf.echo", [7, 8])
+            assert [o[0] for o in out] == [7, 8]
+        finally:
+            backend.close()
+
+    def test_unpicklable_result_reports_rank_and_phase(self):
+        backend = ProcessBackend()
+        try:
+            with pytest.raises(
+                WorkerError, match="rank 0 .*unserializable result"
+            ):
+                backend.run_phase(2, "wf.unpicklable", [0, 0])
+            # one command, one reply: the pipes stay synchronized
+            out = backend.run_phase(2, "wf.echo", [1, 2])
+            assert [o[0] for o in out] == [1, 2]
+        finally:
+            backend.close()
+
+    def test_unpicklable_payload_fails_without_desync(self):
+        backend = ProcessBackend()
+        try:
+            with pytest.raises(Exception):
+                backend.run_phase(2, "wf.echo", [lambda: None, 1])
+        finally:
+            backend.close()
+
+    @pytest.mark.timeout(20)
+    def test_recv_timeout_on_unresponsive_worker(self):
+        backend = ProcessBackend(recv_timeout_s=0.5)
+        try:
+            t0 = time.monotonic()
+            with pytest.raises(WorkerCrash) as exc:
+                backend.run_phase(2, "wf.stall", [1, 1])
+            elapsed = time.monotonic() - t0
+            assert exc.value.rank == 1
+            assert exc.value.exit_code is None
+            assert "unresponsive" in exc.value.reason
+            assert elapsed < 5  # detected promptly, no 30s wait
+        finally:
+            backend.close()
+
+
+class TestCloseAfterCrash:
+    def test_close_is_idempotent_over_dead_workers(self):
+        backend = ProcessBackend()
+        with pytest.raises(WorkerCrash):
+            backend.run_phase(2, "wf.sigkill", [0, 0])
+        backend.close()  # crash already reset the pool; this is a no-op
+        backend.close()  # ... and so is a second close
+        assert backend._workers == []
+
+    def test_backend_usable_again_after_crash_reset(self):
+        backend = ProcessBackend()
+        try:
+            with pytest.raises(WorkerCrash):
+                backend.run_phase(2, "wf.sigkill", [0, 0])
+            # the pool was torn down; the next use builds a fresh one
+            out = backend.run_phase(2, "wf.echo", [1, 2])
+            assert [o[0] for o in out] == [1, 2]
+        finally:
+            backend.close()
+
+    def test_machine_exit_does_not_mask_inflight_crash(self):
+        with pytest.raises(WorkerCrash):
+            with Machine(2, backend=ProcessBackend()) as mach:
+                mach.run_phase("k", "wf.sigkill", [0, 0])
+
+
+class TestRecovery:
+    def test_external_kill_between_phases_replays_journal(self):
+        backend = ProcessBackend(recovery=True)
+        try:
+            with Machine(2, backend=backend) as mach:
+                mach.seed_state("base", [10, 20])
+                first = mach.run_phase("a", "wf.stash", [1, 2])
+                assert first == [1, 2]
+                # murder rank 1 from outside, between commands
+                proc, _conn = backend._workers[1]
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.join(timeout=5)
+                # next phase hits the broken pipe, recovers rank 1 from
+                # its journal (seed + stash), and keeps accumulating
+                second = mach.run_phase("b", "wf.stash", [1, 2])
+                assert second == [2, 4]
+                assert backend.recoveries == 1
+                assert mach.fetch_state("base") == [10, 20]
+        finally:
+            backend.close()
+
+    def test_unconditionally_crashing_phase_still_fails(self):
+        # recovery must give up (and propagate the original crash) when
+        # the re-sent command deterministically kills the replacement too
+        backend = ProcessBackend(recovery=True)
+        try:
+            with pytest.raises(WorkerCrash) as exc:
+                backend.run_phase(2, "wf.sigkill", [1, 1])
+            assert exc.value.rank == 1
+            assert backend.recoveries == 0
+        finally:
+            backend.close()
+
+    def test_env_knobs_configure_the_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_TIMEOUT_S", "2.5")
+        monkeypatch.setenv("REPRO_WORKER_RECOVERY", "1")
+        backend = ProcessBackend()
+        assert backend._recv_timeout_s == 2.5
+        assert backend._recovery is True
